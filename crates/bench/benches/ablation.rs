@@ -1,0 +1,20 @@
+//! Ablation benches: the DESIGN.md design-choice variants (Ext-B/C).
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("ceil_floor_and_flood_edges", |b| {
+        b.iter(|| cam_experiments::ext::ablation(&opts))
+    });
+    group.bench_function("maintenance_overhead", |b| {
+        b.iter(|| cam_experiments::ext::overhead(&opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 10 bench: CAM-Koorde path-length distributions per capacity range.
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("cam_koorde_path_distributions", |b| {
+        b.iter(|| cam_experiments::fig10::run(&opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

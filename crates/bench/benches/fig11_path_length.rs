@@ -1,0 +1,17 @@
+//! Figure 11 bench: average path length vs average capacity (+ bound).
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("path_length_vs_capacity", |b| {
+        b.iter(|| cam_experiments::fig11::run(&opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 6 bench: regenerates the throughput-vs-children table.
+//!
+//! Full-scale numbers: `cargo run --release -p cam-experiments --bin repro -- fig6`.
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("throughput_vs_children", |b| {
+        b.iter(|| {
+            let table = cam_experiments::fig6::run(&opts);
+            assert_eq!(table.series.len(), 6);
+            table
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 7 bench: regenerates the throughput-ratio-vs-bandwidth-range table.
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("ratio_vs_bandwidth_range", |b| {
+        b.iter(|| {
+            let table = cam_experiments::fig7::run(&opts);
+            // The headline property must hold in every run.
+            for s in &table.series {
+                if s.name.starts_with("CAM") {
+                    assert!(s.points.iter().all(|&(_, r)| r > 1.0));
+                }
+            }
+            table
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

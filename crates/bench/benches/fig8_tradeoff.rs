@@ -1,0 +1,17 @@
+//! Figure 8 bench: regenerates the throughput/latency trade-off frontier.
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("throughput_latency_frontier", |b| {
+        b.iter(|| cam_experiments::fig8::run(&opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

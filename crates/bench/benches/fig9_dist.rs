@@ -1,0 +1,17 @@
+//! Figure 9 bench: CAM-Chord path-length distributions per capacity range.
+
+use cam_bench::bench_options;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("cam_chord_path_distributions", |b| {
+        b.iter(|| cam_experiments::fig9::run(&opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

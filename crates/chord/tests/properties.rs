@@ -1,0 +1,121 @@
+//! Property tests for the Chord baseline: lookup correctness, broadcast
+//! exactly-once coverage, and El-Ansary tree structure, over arbitrary
+//! groups and bases.
+
+use cam_overlay::{Member, MemberSet, StaticOverlay};
+use cam_ring::{Id, IdSpace};
+use chord_overlay::Chord;
+use proptest::prelude::*;
+
+fn arb_group() -> impl Strategy<Value = (MemberSet, u32)> {
+    (1usize..200, 2u32..20, 0u64..500).prop_map(|(n, base, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let space = IdSpace::new(13);
+        let mut ids = std::collections::BTreeSet::new();
+        while ids.len() < n {
+            ids.insert(rng.gen_range(0..space.size()));
+        }
+        let group = MemberSet::new(
+            space,
+            ids.iter()
+                .map(|&v| Member::with_capacity(Id(v), 8))
+                .collect(),
+        )
+        .unwrap();
+        (group, base)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lookups find the oracle owner for any base, origin, and key.
+    #[test]
+    fn lookup_oracle((group, base) in arb_group(), key in 0u64..(1 << 13), origin_sel in 0usize..1000) {
+        let chord = Chord::new(group.clone(), base);
+        let origin = origin_sel % group.len();
+        let key = Id(key);
+        prop_assert_eq!(chord.lookup(origin, key).owner, group.owner_idx(key));
+    }
+
+    /// El-Ansary broadcast delivers exactly once from any source.
+    #[test]
+    fn broadcast_exactly_once((group, base) in arb_group(), src_sel in 0usize..1000) {
+        let chord = Chord::new(group.clone(), base);
+        let src = src_sel % group.len();
+        let tree = chord.multicast_tree(src);
+        prop_assert!(tree.is_complete());
+        prop_assert_eq!(tree.delivered(), group.len());
+        // Tree edges = members − 1.
+        let edges: usize = (0..group.len()).map(|m| tree.fanout(m)).sum();
+        prop_assert_eq!(edges, group.len() - 1);
+    }
+
+    /// Finger targets are sorted by offset, unique, and within the space.
+    #[test]
+    fn finger_targets_well_formed((group, base) in arb_group(), x in 0u64..(1 << 13)) {
+        let chord = Chord::new(group.clone(), base);
+        let space = group.space();
+        let targets = chord.finger_targets(Id(x));
+        let mut last = 0u64;
+        for t in &targets {
+            prop_assert!(space.contains(*t));
+            let off = space.seg_len(Id(x), *t);
+            prop_assert!(off > last || last == 0 && off == 1, "offsets ascend");
+            last = off;
+        }
+    }
+
+    /// The number of distinct neighbors is O((k−1)·log_k N).
+    #[test]
+    fn neighbor_count_bound((group, base) in arb_group(), m_sel in 0usize..1000) {
+        let chord = Chord::new(group.clone(), base);
+        let m = m_sel % group.len();
+        let levels = (13.0 / f64::from(base).log2()).ceil();
+        let bound = (f64::from(base - 1) * levels) as usize + 1;
+        prop_assert!(chord.neighbor_count(m) <= bound);
+    }
+}
+
+#[test]
+fn el_ansary_subtree_depths_are_skewed() {
+    // The paper's §3.4 critique: the root's subtrees range from O(log n)
+    // deep (the successor side) to O(1) (the far finger side).
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let space = IdSpace::new(19);
+    let mut ids = std::collections::BTreeSet::new();
+    while ids.len() < 5000 {
+        ids.insert(rng.gen_range(0..space.size()));
+    }
+    let group = MemberSet::new(
+        space,
+        ids.iter()
+            .map(|&v| Member::with_capacity(Id(v), 8))
+            .collect(),
+    )
+    .unwrap();
+    let chord = Chord::new(group, 2);
+    let tree = chord.multicast_tree(0);
+    assert!(tree.is_complete());
+    // Depth below each root child.
+    let mut depths = Vec::new();
+    for &child in tree.children_of(0) {
+        let mut max_depth = 0u32;
+        let mut stack = vec![(child, 1u32)];
+        while let Some((node, d)) = stack.pop() {
+            max_depth = max_depth.max(d);
+            for &c in tree.children_of(node) {
+                stack.push((c, d + 1));
+            }
+        }
+        depths.push(max_depth);
+    }
+    let min = depths.iter().min().unwrap();
+    let max = depths.iter().max().unwrap();
+    assert!(
+        max - min >= 3,
+        "subtree depths should be skewed (El-Ansary imbalance): {depths:?}"
+    );
+}

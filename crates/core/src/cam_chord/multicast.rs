@@ -1,0 +1,318 @@
+//! The CAM-Chord `MULTICAST` routine (paper, Section 3.4).
+//!
+//! `x.MULTICAST(msg, k)` delivers `msg` to every node in the region
+//! `(x, k]` by picking up to `c_x` children that split the region as evenly
+//! as possible:
+//!
+//! 1. the level-`i` neighbors `x̂_{i,m}` for `m = j..1` (where `(i, j)` are
+//!    the level/sequence of `k` w.r.t. `x`) — lines 6–9;
+//! 2. `c_x − j − 1` evenly spaced level-`(i−1)` neighbors — lines 10–14;
+//! 3. the successor `x̂_{0,1}` — line 15.
+//!
+//! Each selected child is handed the shrinking tail region `(child, k']`,
+//! and `k'` moves just below the child's neighbor identifier after every
+//! selection, so regions are disjoint and every node receives the message
+//! exactly once.
+//!
+//! ## Interpretation notes (documented in DESIGN.md)
+//!
+//! * Line 12 updates `l ← l − c_x/(c_x−j)` and line 13 indexes neighbor
+//!   `x̂_{i−1,⌊l⌋}`. Taken literally (`floor`) this *contradicts the
+//!   paper's own worked example* (Figure 3 selects `x̂_{2,2}`, node `x+18`,
+//!   which requires rounding 1.5 *up*). [`ChildSelection::Ceil`]
+//!   reproduces the example exactly and is the default;
+//!   [`ChildSelection::Floor`] implements the literal pseudo-code for the
+//!   ablation benchmark. The sequence numbers are computed exactly as
+//!   `⌈c(c−j−t)/(c−j)⌉` (resp. `⌊·⌋`) in integer arithmetic.
+//! * A selected neighbor identifier may resolve (via `owner`) to a node
+//!   *outside* the remaining region `(x, k']`; such a child is skipped —
+//!   but `k'` still shrinks past its identifier, which is safe because the
+//!   skipped gap `(x_{i,m}−1, k']` provably contains no member. Without
+//!   this check a message could escape its region and be delivered twice.
+
+use cam_overlay::{MemberSet, MulticastTree};
+use cam_ring::math::pow_saturating;
+use cam_ring::Id;
+
+use super::neighbors::level_seq_of;
+
+/// How line 13's fractional neighbor index is rounded.
+///
+/// See the module docs: `Ceil` matches the paper's worked example (Figures
+/// 2–3) and is the default everywhere; `Floor` is the literal pseudo-code,
+/// kept for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChildSelection {
+    /// Round the even-separation index up (reproduces the paper's example).
+    #[default]
+    Ceil,
+    /// Round down (the literal pseudo-code text).
+    Floor,
+}
+
+/// One selected multicast child: the member index and the end (inclusive)
+/// of the region it becomes responsible for.
+pub type ChildAssignment = (usize, Id);
+
+/// Selects the children (and their sub-regions) that member `x_idx` uses to
+/// cover the region `(x, k]` — the decision procedure of `MULTICAST`
+/// lines 4–15.
+///
+/// Children are returned in selection order (clockwise-farthest first).
+/// The number of children never exceeds the member's capacity.
+///
+/// # Panics
+///
+/// Panics if `x_idx` is out of range.
+pub fn select_children(
+    group: &MemberSet,
+    x_idx: usize,
+    k: Id,
+    selection: ChildSelection,
+) -> Vec<ChildAssignment> {
+    let space = group.space();
+    let x = group.member(x_idx).id;
+    let c = u64::from(group.member(x_idx).capacity);
+    if space.seg_len(x, k) == 0 {
+        return Vec::new(); // Lines 1–2: empty region.
+    }
+
+    let (i, j) = level_seq_of(space, x, group.member(x_idx).capacity, k);
+    let mut out: Vec<ChildAssignment> = Vec::new();
+    let mut k_prime = k;
+
+    // Tries to adopt owner(target) as a child for the tail region
+    // (target, k']; always moves k' to target − 1 afterwards (line 9/14:
+    // the gap (x_{i,m}, x̂_{i,m}) is node-free by definition of owner).
+    let consider = |target: Id, k_prime: &mut Id, out: &mut Vec<ChildAssignment>| {
+        let child_idx = group.owner_idx(target);
+        let child_id = group.member(child_idx).id;
+        if space.in_segment(child_id, x, *k_prime) {
+            out.push((child_idx, *k_prime));
+        }
+        *k_prime = space.sub(target, 1);
+    };
+
+    // Lines 6–9: level-i neighbors m = j down to 1.
+    let ci = pow_saturating(c, i);
+    for m in (1..=j).rev() {
+        consider(space.add(x, m * ci), &mut k_prime, &mut out);
+    }
+
+    // Lines 10–14: c − j − 1 evenly spaced level-(i−1) neighbors.
+    if i >= 1 && c > j + 1 {
+        let ci1 = pow_saturating(c, i - 1);
+        let slots = c - j - 1;
+        let b = c - j;
+        for t in 1..=slots {
+            // l after t updates is c·(c−j−t)/(c−j); round per `selection`.
+            let a = c * (c - j - t);
+            let seq = match selection {
+                ChildSelection::Ceil => a.div_ceil(b),
+                ChildSelection::Floor => a / b,
+            };
+            if seq == 0 {
+                continue; // floor rounding can hit 0 only in degenerate cases
+            }
+            consider(space.add(x, seq * ci1), &mut k_prime, &mut out);
+        }
+    }
+
+    // Line 15: the successor x̂_{0,1}.
+    consider(space.add(x, 1), &mut k_prime, &mut out);
+
+    debug_assert!(
+        out.len() <= c as usize,
+        "selected {} children with capacity {c}",
+        out.len()
+    );
+    out
+}
+
+/// Runs the full distributed `MULTICAST` from `source` over a resolved
+/// group, returning the implicit dissemination tree.
+///
+/// The initial call covers `(source, source − 1]` — the whole ring minus
+/// the source — exactly as `x.MULTICAST(x − 1, msg)` in the paper.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, or (via `debug_assert`) if region
+/// bookkeeping ever attempts a duplicate delivery.
+pub fn multicast_tree(
+    group: &MemberSet,
+    source: usize,
+    selection: ChildSelection,
+) -> MulticastTree {
+    let space = group.space();
+    let mut tree = MulticastTree::new(group.len(), source);
+    // Work queue of (member, region end) — the recursion of the paper,
+    // iteratively.
+    let mut queue: std::collections::VecDeque<(usize, Id)> = std::collections::VecDeque::new();
+    queue.push_back((source, space.sub(group.member(source).id, 1)));
+
+    while let Some((node, k)) = queue.pop_front() {
+        for (child, region_end) in select_children(group, node, k, selection) {
+            let fresh = tree.deliver(node, child);
+            debug_assert!(fresh, "duplicate delivery to member {child} — region leak");
+            if fresh {
+                queue.push_back((child, region_end));
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam_overlay::Member;
+    use cam_ring::IdSpace;
+
+    fn fig2_group() -> MemberSet {
+        MemberSet::new(
+            IdSpace::new(5),
+            [0u64, 4, 8, 13, 18, 21, 26, 29]
+                .iter()
+                .map(|&v| Member::with_capacity(Id(v), 3))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn ids(group: &MemberSet, children: &[usize]) -> Vec<u64> {
+        children.iter().map(|&c| group.member(c).id.value()).collect()
+    }
+
+    /// The paper's Figure 3, reproduced edge for edge.
+    #[test]
+    fn fig3_multicast_tree() {
+        let g = fig2_group();
+        let t = multicast_tree(&g, 0, ChildSelection::Ceil);
+        assert!(t.is_complete());
+        t.check_invariants(&g).unwrap();
+
+        // Root x → {x+29, x+18, x+4}.
+        let root_children = ids(&g, t.children_of(0));
+        assert_eq!(
+            root_children.iter().copied().collect::<std::collections::BTreeSet<_>>(),
+            [4u64, 18, 29].into_iter().collect()
+        );
+        // x+18 → {x+21, x+26}.
+        let i18 = g.index_of(Id(18)).unwrap();
+        assert_eq!(
+            ids(&g, t.children_of(i18))
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>(),
+            [21u64, 26].into_iter().collect()
+        );
+        // x+4 → {x+8, x+13}.
+        let i4 = g.index_of(Id(4)).unwrap();
+        assert_eq!(
+            ids(&g, t.children_of(i4))
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>(),
+            [8u64, 13].into_iter().collect()
+        );
+        // x+29, x+21, x+26, x+8, x+13 are leaves; depth 2.
+        for leaf in [29u64, 21, 26, 8, 13] {
+            let idx = g.index_of(Id(leaf)).unwrap();
+            assert_eq!(t.fanout(idx), 0, "node {leaf} should be a leaf");
+        }
+        assert_eq!(t.stats().depth, 2);
+    }
+
+    /// The worked example's region assignments (§3.4): x̂_{3,1} gets
+    /// (x+29, x+31], x̂_{2,2} gets (x+18, x+26], successor gets (x+4, x+17].
+    #[test]
+    fn fig3_region_assignments() {
+        let g = fig2_group();
+        let picks = select_children(&g, 0, Id(31), ChildSelection::Ceil);
+        let described: Vec<(u64, u64)> = picks
+            .iter()
+            .map(|&(c, end)| (g.member(c).id.value(), end.value()))
+            .collect();
+        assert_eq!(described, vec![(29, 31), (18, 26), (4, 17)]);
+    }
+
+    /// The literal floor rounding picks x̂_{2,1} (node x+13) instead of
+    /// x̂_{2,2} — the divergence that motivates the `Ceil` default.
+    #[test]
+    fn floor_selection_contradicts_paper_example() {
+        let g = fig2_group();
+        let picks = select_children(&g, 0, Id(31), ChildSelection::Floor);
+        let children: Vec<u64> = picks.iter().map(|&(c, _)| g.member(c).id.value()).collect();
+        assert!(children.contains(&13), "floor picks x̂_2,1 → node 13");
+        assert!(!children.contains(&18));
+        // Even so, the tree remains a correct exactly-once partition.
+        let t = multicast_tree(&g, 0, ChildSelection::Floor);
+        assert!(t.is_complete());
+        t.check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn every_source_covers_everyone_exactly_once() {
+        let g = fig2_group();
+        for src in 0..g.len() {
+            let t = multicast_tree(&g, src, ChildSelection::Ceil);
+            assert!(t.is_complete(), "source {src} missed members");
+            t.check_invariants(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_region_selects_nothing() {
+        let g = fig2_group();
+        assert!(select_children(&g, 0, Id(0), ChildSelection::Ceil).is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_respected_under_heterogeneity() {
+        let g = MemberSet::new(
+            IdSpace::new(10),
+            (0..120u64)
+                .map(|i| Member::with_capacity(Id(i * 8 + 3), 2 + (i % 9) as u32))
+                .collect(),
+        )
+        .unwrap();
+        for src in [0usize, 17, 63, 119] {
+            let t = multicast_tree(&g, src, ChildSelection::Ceil);
+            assert!(t.is_complete());
+            t.check_invariants(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn internal_nodes_saturate_capacity() {
+        // Paper §3.4: "the number of children for an internal node is always
+        // equal to the node's capacity as long as the node is not at the
+        // bottom levels of the tree". With a big uniform group, the source
+        // must have exactly c children.
+        let g = MemberSet::new(
+            IdSpace::new(12),
+            (0..500u64)
+                .map(|i| Member::with_capacity(Id(i * 8 + 1), 5))
+                .collect(),
+        )
+        .unwrap();
+        let t = multicast_tree(&g, 0, ChildSelection::Ceil);
+        assert!(t.is_complete());
+        assert_eq!(t.fanout(0), 5, "source should use its full capacity");
+        // Depth near log_c n: log_5 500 ≈ 3.9 → depth ≤ 8 (2× slack).
+        assert!(t.stats().depth <= 8, "depth {}", t.stats().depth);
+    }
+
+    #[test]
+    fn two_member_group() {
+        let g = MemberSet::new(
+            IdSpace::new(5),
+            vec![Member::with_capacity(Id(3), 3), Member::with_capacity(Id(20), 3)],
+        )
+        .unwrap();
+        for src in 0..2 {
+            let t = multicast_tree(&g, src, ChildSelection::Ceil);
+            assert!(t.is_complete());
+            assert_eq!(t.stats().depth, 1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! CAM-Koorde: the capacity-aware Koorde extension (paper, Section 4).
+//!
+//! A CAM-Koorde node `x` has **exactly `c_x` neighbors** (the minimum
+//! possible for capacity `c_x`, hence lower maintenance overhead than
+//! CAM-Chord), organized in three groups derived by *right*-shifting `x`
+//! and substituting high-order bits:
+//!
+//! * the **basic group** (mandatory, `c_x ≥ 4`): predecessor, successor,
+//!   and the owners of `x/2` and `2^{b−1} + x/2`;
+//! * the **second group**: owners of `i·2^{b−s} + x/2^s` for
+//!   `i ∈ [0..2^s)`, with `s = ⌊log₂(c_x−4)⌋` when `s > 1`;
+//! * the **third group**: owners of `i·2^{b−s−1} + x/2^{s+1}` for the
+//!   remaining neighbor budget.
+//!
+//! Because the substituted bits are the *high-order* ones, the neighbors
+//! spread evenly around the ring — the property (contrasted with Koorde's
+//! clustered left-shift neighbors) that makes flooding trees balanced.
+//!
+//! Lookup follows chains of neighbors sharing progressively more
+//! *ps-common bits* with the key (a prefix of the node id matching a suffix
+//! of the key); multicast is constrained flooding with duplicate
+//! suppression, which embeds a BFS tree per source.
+
+pub mod lookup;
+pub mod multicast;
+pub mod neighbors;
+pub mod overlay;
+pub mod protocol;
+
+pub use overlay::CamKoorde;
+pub use protocol::CamKoordeProtocol;

@@ -1,0 +1,214 @@
+//! CAM-Koorde multicast: constrained flooding (paper, Section 4.3).
+//!
+//! A node forwards a received message to all of its neighbors except those
+//! that already received (or are receiving) it; the neighbor connections
+//! are bidirectional, so the check costs one short control packet. The
+//! collective effect embeds an implicit BFS tree per source.
+//!
+//! Two adjacency flavours are provided:
+//!
+//! * **out-neighbors only** (default): a node forwards along its own
+//!   `c_x`-bounded neighbor list, so the capacity constraint holds exactly;
+//! * **bidirectional**: reverse edges are flooded too (the literal reading
+//!   of "all neighbors" over bidirectional connections). This can push a
+//!   node's fan-out past `c_x` — quantified in the ablation experiment.
+
+use cam_overlay::{MemberSet, MulticastTree};
+
+use super::neighbors::neighbor_targets;
+
+/// Which edges a node floods on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FloodEdges {
+    /// Only the node's own (out-)neighbors — respects `c_x` exactly.
+    #[default]
+    Out,
+    /// Out-neighbors plus reverse edges.
+    Bidirectional,
+}
+
+/// The resolved out-neighbor member indices of `idx`: predecessor,
+/// successor, and the owners of all derived targets, deduplicated, self
+/// excluded. Never larger than the member's capacity.
+pub fn out_neighbors(group: &MemberSet, idx: usize) -> Vec<usize> {
+    let m = group.member(idx);
+    let mut out: Vec<usize> = vec![group.prev_idx(idx), group.next_idx(idx)];
+    out.extend(
+        neighbor_targets(group.space(), m.id, m.capacity)
+            .into_iter()
+            .map(|t| group.owner_idx(t)),
+    );
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|&n| n != idx);
+    debug_assert!(out.len() <= m.capacity as usize);
+    out
+}
+
+/// The full flooding adjacency for the group (out edges, plus reverse
+/// edges when `edges` is [`FloodEdges::Bidirectional`]).
+pub fn adjacency(group: &MemberSet, edges: FloodEdges) -> Vec<Vec<usize>> {
+    let n = group.len();
+    let mut adj: Vec<Vec<usize>> = (0..n).map(|i| out_neighbors(group, i)).collect();
+    if edges == FloodEdges::Bidirectional {
+        let forward = adj.clone();
+        for (from, nbrs) in forward.iter().enumerate() {
+            for &to in nbrs {
+                adj[to].push(from);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+    adj
+}
+
+/// Floods a message from `source` and returns the implicit (BFS) multicast
+/// tree: each member's parent is the neighbor whose copy arrived first.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn multicast_tree(group: &MemberSet, source: usize, edges: FloodEdges) -> MulticastTree {
+    let adj = adjacency(group, edges);
+    multicast_tree_with_adjacency(group, source, &adj)
+}
+
+/// Same as [`multicast_tree`], but reusing a precomputed adjacency — the
+/// experiments flood from many sources over one topology.
+pub fn multicast_tree_with_adjacency(
+    group: &MemberSet,
+    source: usize,
+    adj: &[Vec<usize>],
+) -> MulticastTree {
+    let mut tree = MulticastTree::new(group.len(), source);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(node) = queue.pop_front() {
+        for &nb in &adj[node] {
+            if tree.deliver(node, nb) {
+                queue.push_back(nb);
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam_overlay::Member;
+    use cam_ring::{Id, IdSpace};
+
+    fn fig4_group() -> MemberSet {
+        MemberSet::new(
+            IdSpace::new(6),
+            [1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61]
+                .iter()
+                .map(|&v| Member::with_capacity(Id(v), 10))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// The paper's Figure 5: node 36 forwards to all ten of its neighbors
+    /// (9, 12, 18, 25, 35, 37, 41, 50, 57 and 4).
+    #[test]
+    fn fig5_first_level() {
+        let g = fig4_group();
+        let i36 = g.index_of(Id(36)).unwrap();
+        let nbrs: std::collections::BTreeSet<u64> = out_neighbors(&g, i36)
+            .into_iter()
+            .map(|i| g.member(i).id.value())
+            .collect();
+        assert_eq!(
+            nbrs,
+            [9u64, 12, 18, 25, 35, 37, 41, 50, 57, 4].into_iter().collect()
+        );
+        let t = multicast_tree(&g, i36, FloodEdges::Out);
+        assert_eq!(t.fanout(i36), 10);
+        assert!(t.is_complete());
+        // Every other node is within 2 hops in this small topology
+        // (Figure 5 shows a depth-2 tree).
+        assert_eq!(t.stats().depth, 2);
+    }
+
+    #[test]
+    fn out_flooding_respects_capacity() {
+        let g = fig4_group();
+        for src in 0..g.len() {
+            let t = multicast_tree(&g, src, FloodEdges::Out);
+            assert!(t.is_complete(), "source {src}");
+            t.check_invariants(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn bidirectional_can_exceed_capacity_but_reaches_all() {
+        let g = fig4_group();
+        let t = multicast_tree(&g, 0, FloodEdges::Bidirectional);
+        assert!(t.is_complete());
+        // Invariant check intentionally not applied: fan-out may exceed c.
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let space = IdSpace::new(12);
+        let mut ids = std::collections::BTreeSet::new();
+        while ids.len() < 300 {
+            ids.insert(rng.gen_range(0..space.size()));
+        }
+        let g = MemberSet::new(
+            space,
+            ids.iter()
+                .map(|&v| Member::with_capacity(Id(v), 4 + (v % 7) as u32))
+                .collect(),
+        )
+        .unwrap();
+        for src in [0usize, 100, 299] {
+            let t = multicast_tree(&g, src, FloodEdges::Out);
+            assert!(t.is_complete(), "flooding must reach everyone");
+            t.check_invariants(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn depth_scales_logarithmically() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let space = IdSpace::new(19);
+        let mut ids = std::collections::BTreeSet::new();
+        while ids.len() < 5000 {
+            ids.insert(rng.gen_range(0..space.size()));
+        }
+        let g = MemberSet::new(
+            space,
+            ids.iter()
+                .map(|&v| Member::with_capacity(Id(v), 10))
+                .collect(),
+        )
+        .unwrap();
+        let t = multicast_tree(&g, 0, FloodEdges::Out);
+        assert!(t.is_complete());
+        let depth = t.stats().depth;
+        // log_10(5000) ≈ 3.7; allow constant-factor slack but far below a
+        // ring walk.
+        assert!(depth <= 12, "depth {depth} too large");
+    }
+
+    #[test]
+    fn two_member_group_floods() {
+        let g = MemberSet::new(
+            IdSpace::new(6),
+            vec![Member::with_capacity(Id(5), 4), Member::with_capacity(Id(40), 4)],
+        )
+        .unwrap();
+        let t = multicast_tree(&g, 0, FloodEdges::Out);
+        assert!(t.is_complete());
+        assert_eq!(t.stats().depth, 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! CAM-Koorde neighbor derivation (paper, Section 4.1).
+
+use cam_ring::math::floor_log;
+use cam_ring::{Id, IdSpace};
+
+/// The derived neighbor identifier targets of node `x` with capacity `c`,
+/// split into the paper's three groups. The predecessor and successor (the
+/// other two members of the basic group) are ring pointers, not derived
+/// identifiers, and are therefore *not* included here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborGroups {
+    /// Basic-group derived targets: `x/2` and `2^{b−1} + x/2`.
+    pub basic: Vec<Id>,
+    /// Second-group targets `i·2^{b−s} + x/2^s`, `i ∈ [0..2^s)` (empty when
+    /// `s ≤ 1`).
+    pub second: Vec<Id>,
+    /// Third-group targets `i·2^{b−s−1} + x/2^{s+1}` for the remaining
+    /// budget.
+    pub third: Vec<Id>,
+}
+
+impl NeighborGroups {
+    /// All derived targets in group order.
+    pub fn all(&self) -> impl Iterator<Item = Id> + '_ {
+        self.basic
+            .iter()
+            .chain(self.second.iter())
+            .chain(self.third.iter())
+            .copied()
+    }
+
+    /// Total number of derived targets (excludes predecessor/successor).
+    pub fn len(&self) -> usize {
+        self.basic.len() + self.second.len() + self.third.len()
+    }
+
+    /// Whether there are no derived targets (never true: the basic group is
+    /// mandatory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Derives the three neighbor groups of node `x` with capacity `c`.
+///
+/// Together with the predecessor and successor this makes exactly `c`
+/// neighbor slots; identifiers that happen to resolve to the same physical
+/// node reduce the *effective* degree (deduplication happens at resolution
+/// time).
+///
+/// # Panics
+///
+/// Panics if `c < 4` — the paper requires `c_x ≥ 4` (the mandatory basic
+/// group), which is why all of its capacity ranges start at 4.
+///
+/// # Example
+///
+/// ```
+/// use cam_core::cam_koorde::neighbors::derive_groups;
+/// use cam_ring::{Id, IdSpace};
+///
+/// // The paper's §4.1 example: node 36 (100100₂), capacity 10, b = 6.
+/// let g = derive_groups(IdSpace::new(6), Id(36), 10);
+/// let vals = |v: &[Id]| v.iter().map(|i| i.value()).collect::<Vec<_>>();
+/// assert_eq!(vals(&g.basic), vec![18, 50]);
+/// assert_eq!(vals(&g.second), vec![9, 25, 41, 57]);
+/// assert_eq!(vals(&g.third), vec![4, 12]);
+/// ```
+pub fn derive_groups(space: IdSpace, x: Id, c: u32) -> NeighborGroups {
+    assert!(c >= 4, "CAM-Koorde requires capacity >= 4, got {c}");
+    let b = space.bits();
+    let x = x.value();
+
+    // Basic group (beyond predecessor/successor): right shift by one, high
+    // bit replaced by 0 and 1.
+    let half = x >> 1;
+    let basic = vec![Id(half), Id((1u64 << (b - 1)) | half)];
+
+    let remaining = u64::from(c) - 4;
+    let mut second = Vec::new();
+    let mut third = Vec::new();
+    if remaining > 0 {
+        let s = floor_log(remaining, 2);
+        // "If s = 1, it means to shift one bit. The basic group already
+        // does that." — only s > 1 yields a second group.
+        let t: u64 = if s > 1 { 1 << s } else { 0 };
+        if t > 0 {
+            let shifted = x >> s;
+            for i in 0..t {
+                second.push(Id((i << (b - s)) | shifted));
+            }
+        }
+        let s_prime = s + 1;
+        let t_prime = remaining - t;
+        if t_prime > 0 {
+            // For very small spaces the shift could exceed b; clamp keeps
+            // the derivation total (identifiers collapse toward 0).
+            let sp = s_prime.min(b);
+            let shifted = x >> sp;
+            for i in 0..t_prime {
+                third.push(Id(((i << (b - sp)) | shifted) & space.mask()));
+            }
+        }
+    }
+    NeighborGroups {
+        basic,
+        second,
+        third,
+    }
+}
+
+/// Flattened derived targets of `x` (basic ∪ second ∪ third).
+pub fn neighbor_targets(space: IdSpace, x: Id, c: u32) -> Vec<Id> {
+    let g = derive_groups(space, x, c);
+    g.all().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_node_36() {
+        let space = IdSpace::new(6);
+        let g = derive_groups(space, Id(36), 10);
+        assert_eq!(
+            g.basic.iter().map(|i| i.value()).collect::<Vec<_>>(),
+            vec![18, 50]
+        );
+        assert_eq!(
+            g.second.iter().map(|i| i.value()).collect::<Vec<_>>(),
+            vec![9, 25, 41, 57]
+        );
+        assert_eq!(
+            g.third.iter().map(|i| i.value()).collect::<Vec<_>>(),
+            vec![4, 12]
+        );
+        // 2 ring pointers + 8 derived targets = capacity 10.
+        assert_eq!(g.len() + 2, 10);
+    }
+
+    #[test]
+    fn capacity_four_has_only_basic() {
+        let g = derive_groups(IdSpace::new(10), Id(612), 4);
+        assert_eq!(g.len(), 2);
+        assert!(g.second.is_empty());
+        assert!(g.third.is_empty());
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn capacity_five_duplicates_basic_shift() {
+        // c = 5 → remaining 1, s = 0, t = 0, s' = 1, t' = 1: the single
+        // third-group target is x/2, duplicating the basic group; effective
+        // degree is then < c after resolution (documented behaviour).
+        let g = derive_groups(IdSpace::new(10), Id(612), 5);
+        assert_eq!(g.third, vec![Id(306)]);
+        assert_eq!(g.basic[0], Id(306));
+    }
+
+    #[test]
+    fn capacity_six_and_seven_use_two_bit_shift() {
+        // c ∈ {6, 7} → remaining ∈ {2, 3}, s = 1 → no second group;
+        // s' = 2 → third group at quarter positions.
+        let space = IdSpace::new(8);
+        let g6 = derive_groups(space, Id(200), 6);
+        assert!(g6.second.is_empty());
+        assert_eq!(
+            g6.third.iter().map(|i| i.value()).collect::<Vec<_>>(),
+            vec![50, 114] // 200/4 = 50; 64 + 50
+        );
+        let g7 = derive_groups(space, Id(200), 7);
+        assert_eq!(
+            g7.third.iter().map(|i| i.value()).collect::<Vec<_>>(),
+            vec![50, 114, 178]
+        );
+    }
+
+    #[test]
+    fn targets_spread_across_the_ring() {
+        // The design goal of right-shifting: derived targets land in
+        // different quadrants (contrast Koorde's clustered neighbors).
+        let space = IdSpace::new(12);
+        let targets = neighbor_targets(space, Id(3000), 12);
+        let quadrant = |id: Id| (id.value() * 4 / space.size()) as usize;
+        let mut hit = [false; 4];
+        for t in &targets {
+            hit[quadrant(*t)] = true;
+        }
+        assert_eq!(hit, [true; 4], "targets {targets:?} missed a quadrant");
+    }
+
+    #[test]
+    fn budget_never_exceeded() {
+        for c in 4u32..=40 {
+            let g = derive_groups(IdSpace::new(16), Id(12345), c);
+            assert_eq!(
+                g.len() as u32 + 2,
+                c,
+                "derived targets + pred + succ must equal capacity (c={c})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 4")]
+    fn capacity_three_rejected() {
+        derive_groups(IdSpace::new(8), Id(0), 3);
+    }
+}

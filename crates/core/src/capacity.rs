@@ -1,0 +1,151 @@
+//! The paper's capacity model: `c_x = ⌊B_x / p⌋`.
+//!
+//! Section 6 of the paper derives each node's capacity from its upload
+//! bandwidth `B_x` and a system parameter `p`, "the desired bandwidth per
+//! link in the multicast tree": `c_x = ⌊B_x / p⌋`. Varying `p` tunes the
+//! throughput/latency trade-off (Figure 8): smaller `p` means more children
+//! per node (higher capacity, shallower trees, lower per-link rate).
+
+use serde::{Deserialize, Serialize};
+
+/// Derives capacities from upload bandwidths.
+///
+/// # Example
+///
+/// ```
+/// use cam_core::CapacityModel;
+///
+/// // p = 100 kbps per link; CAM-Koorde needs c ≥ 4.
+/// let model = CapacityModel::new(100.0).with_min_capacity(4);
+/// assert_eq!(model.capacity_for(650.0), 6);
+/// assert_eq!(model.capacity_for(99.0), 4, "clamped to the floor");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityModel {
+    /// Desired bandwidth per multicast-tree link, in kbps.
+    per_link_kbps: f64,
+    /// Lower clamp on capacity. CAM-Chord needs ≥ 2 (level arithmetic);
+    /// CAM-Koorde needs ≥ 4 (its basic neighbor group, paper §4.1).
+    min_capacity: u32,
+    /// Upper clamp on capacity (a node will not accept more children than
+    /// this regardless of bandwidth); `u32::MAX` means uncapped.
+    max_capacity: u32,
+}
+
+impl CapacityModel {
+    /// A model with per-link target `p` kbps, minimum capacity 2, no upper
+    /// clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is finite and positive.
+    pub fn new(per_link_kbps: f64) -> Self {
+        assert!(
+            per_link_kbps.is_finite() && per_link_kbps > 0.0,
+            "per-link bandwidth must be positive, got {per_link_kbps}"
+        );
+        CapacityModel {
+            per_link_kbps,
+            min_capacity: 2,
+            max_capacity: u32::MAX,
+        }
+    }
+
+    /// Returns the model with its minimum capacity raised to `min`
+    /// (never below 2).
+    pub fn with_min_capacity(mut self, min: u32) -> Self {
+        self.min_capacity = min.max(2);
+        self
+    }
+
+    /// Returns the model with an upper clamp on capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is below the current minimum.
+    pub fn with_max_capacity(mut self, max: u32) -> Self {
+        assert!(
+            max >= self.min_capacity,
+            "max capacity {max} below min {}",
+            self.min_capacity
+        );
+        self.max_capacity = max;
+        self
+    }
+
+    /// The per-link bandwidth target `p` in kbps.
+    pub fn per_link_kbps(&self) -> f64 {
+        self.per_link_kbps
+    }
+
+    /// The paper's `c_x = ⌊B_x / p⌋`, clamped to the configured range.
+    pub fn capacity_for(&self, upload_kbps: f64) -> u32 {
+        let raw = (upload_kbps / self.per_link_kbps).floor();
+        let raw = if raw.is_finite() && raw >= 0.0 {
+            raw.min(u32::MAX as f64) as u32
+        } else {
+            0
+        };
+        raw.clamp(self.min_capacity, self.max_capacity)
+    }
+
+    /// The `p` that would give mean capacity `c̄` to nodes of mean
+    /// bandwidth `mean_kbps` — the inverse used by the experiment sweeps to
+    /// hit a target average number of children.
+    pub fn for_target_mean_capacity(mean_kbps: f64, mean_capacity: f64) -> Self {
+        assert!(mean_capacity > 0.0 && mean_kbps > 0.0);
+        CapacityModel::new(mean_kbps / mean_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_division() {
+        let m = CapacityModel::new(100.0);
+        assert_eq!(m.capacity_for(400.0), 4);
+        assert_eq!(m.capacity_for(499.9), 4);
+        assert_eq!(m.capacity_for(500.0), 5);
+        assert_eq!(m.capacity_for(1000.0), 10);
+    }
+
+    #[test]
+    fn clamping() {
+        let m = CapacityModel::new(100.0)
+            .with_min_capacity(4)
+            .with_max_capacity(8);
+        assert_eq!(m.capacity_for(100.0), 4);
+        assert_eq!(m.capacity_for(2000.0), 8);
+        assert_eq!(m.capacity_for(650.0), 6);
+    }
+
+    #[test]
+    fn min_never_below_two() {
+        let m = CapacityModel::new(50.0).with_min_capacity(0);
+        assert_eq!(m.capacity_for(0.0), 2);
+    }
+
+    #[test]
+    fn inverse_model() {
+        // Mean bandwidth 700 kbps, want mean capacity 7 → p = 100.
+        let m = CapacityModel::for_target_mean_capacity(700.0, 7.0);
+        assert!((m.per_link_kbps() - 100.0).abs() < 1e-9);
+        assert_eq!(m.capacity_for(700.0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_p_rejected() {
+        CapacityModel::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below min")]
+    fn bad_clamp_rejected() {
+        let _ = CapacityModel::new(1.0)
+            .with_min_capacity(6)
+            .with_max_capacity(4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Regenerates the paper's figures (and the extension experiments) as
+//! plain-text tables on stdout and CSV files under `results/`.
+//!
+//! ```text
+//! repro [--quick] [--plot] [--n <size>] [--sources <k>] [--out <dir>] [FIGURE...]
+//!
+//! FIGURE: fig6 fig7 fig8 fig9 fig10 fig11 resilience overhead ablation
+//!         lookup all        (default: all)
+//! --quick     4,000-node groups instead of the paper's 100,000
+//! --plot      also render each table as an ASCII chart
+//! --n         explicit group size
+//! --sources   multicast sources sampled per configuration
+//! --out       output directory for CSVs (default: results)
+//! ```
+
+use std::process::ExitCode;
+
+use cam_experiments::{ext, fig10, fig11, fig6, fig7, fig8, fig9, Options};
+use cam_metrics::DataTable;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::paper();
+    let mut out_dir = "results".to_string();
+    let mut plot = false;
+    let mut figures: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let q = Options::quick();
+                opts.n = q.n;
+                opts.sources = q.sources;
+            }
+            "--n" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.n = n,
+                None => return usage("--n needs an integer"),
+            },
+            "--sources" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.sources = s,
+                None => return usage("--sources needs an integer"),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = dir,
+                None => return usage("--out needs a directory"),
+            },
+            "--plot" => plot = true,
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"))
+            }
+            fig => figures.push(fig.to_string()),
+        }
+    }
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = [
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "resilience",
+            "overhead",
+            "ablation",
+            "lookup",
+            "load",
+            "churn",
+            "proximity",
+            "loss",
+            "theory",
+            "heterogeneity",
+            "stability",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    eprintln!(
+        "# n = {}, sources = {}, seed = {:#x}",
+        opts.n, opts.sources, opts.seed
+    );
+    for fig in &figures {
+        let started = std::time::Instant::now();
+        let table: DataTable = match fig.as_str() {
+            "fig6" => fig6::run(&opts),
+            "fig7" => fig7::run(&opts),
+            "fig8" => fig8::run(&opts),
+            "fig9" => fig9::run(&opts),
+            "fig10" => fig10::run(&opts),
+            "fig11" => fig11::run(&opts),
+            "resilience" => ext::resilience(&opts),
+            "overhead" => ext::overhead(&opts),
+            "ablation" => ext::ablation(&opts),
+            "lookup" => ext::lookup_hops(&opts),
+            "load" => ext::load_balance(&opts),
+            "churn" => ext::churn(&opts),
+            "proximity" => ext::proximity(&opts),
+            "loss" => ext::loss(&opts),
+            "theory" => ext::theory(&opts),
+            "heterogeneity" => ext::heterogeneity(&opts),
+            "stability" => ext::tree_stability(&opts),
+            other => return usage(&format!("unknown figure {other}")),
+        };
+        println!("{}", table.to_text());
+        if plot {
+            println!("{}", cam_metrics::ascii_plot(&table, 72, 20));
+        }
+        let path = format!("{out_dir}/{fig}.csv");
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("# wrote {path} ({:.1}s)", started.elapsed().as_secs_f64());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--quick] [--plot] [--n SIZE] [--sources K] [--out DIR] \
+         [fig6|fig7|fig8|fig9|fig10|fig11|resilience|overhead|ablation|lookup|load|churn|proximity|loss|theory|heterogeneity|stability|all]..."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared experiment plumbing: options, tree sampling, and sweeps.
+
+use cam_metrics::TreeAggregator;
+use cam_overlay::StaticOverlay;
+use rand::{Rng, SeedableRng};
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Group size (the paper: 100,000).
+    pub n: usize,
+    /// Multicast sources sampled per configuration.
+    pub sources: usize,
+    /// Base seed; every configuration derives its own sub-seed.
+    pub seed: u64,
+}
+
+impl Options {
+    /// The paper's full scale: 100,000 members, 5 sources per point.
+    pub fn paper() -> Self {
+        Options {
+            n: 100_000,
+            sources: 5,
+            seed: 0xCA11AB1E,
+        }
+    }
+
+    /// A CI-sized variant (same code paths, ~3s total).
+    pub fn quick() -> Self {
+        Options {
+            n: 4_000,
+            sources: 3,
+            seed: 0xCA11AB1E,
+        }
+    }
+
+    /// Derives a per-configuration seed (stable across runs).
+    pub fn sub_seed(&self, tag: u64) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag)
+    }
+}
+
+/// Builds `sources` multicast trees from distinct random sources of the
+/// overlay and aggregates their statistics.
+///
+/// # Panics
+///
+/// Panics if the overlay has no members.
+pub fn sample_trees(overlay: &dyn StaticOverlay, sources: usize, seed: u64) -> TreeAggregator {
+    let n = overlay.members().len();
+    assert!(n > 0, "empty overlay");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut agg = TreeAggregator::new();
+    let mut used = std::collections::HashSet::new();
+    for _ in 0..sources {
+        let mut src = rng.gen_range(0..n);
+        let mut spins = 0;
+        while !used.insert(src) && spins < 16 {
+            src = rng.gen_range(0..n);
+            spins += 1;
+        }
+        let tree = overlay.multicast_tree(src);
+        debug_assert!(tree.is_complete(), "incomplete multicast from {src}");
+        agg.record(overlay.members(), &tree);
+    }
+    agg
+}
+
+/// Runs `f` over each item of `inputs` in parallel (scoped threads),
+/// preserving input order in the output.
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let mut out: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot, input) in out.iter_mut().zip(&inputs) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(input));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_iter().map(|o| o.expect("worker filled slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam_core::CamChord;
+    use cam_workload::Scenario;
+
+    #[test]
+    fn sample_trees_aggregates() {
+        let group = Scenario::paper_default(1).with_n(300).members();
+        let overlay = CamChord::new(group);
+        let agg = sample_trees(&overlay, 4, 9);
+        assert_eq!(agg.trees(), 4);
+        assert_eq!(agg.incomplete, 0);
+        assert!(agg.throughput_kbps.mean() > 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let out = parallel_sweep((0..32).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sub_seeds_differ() {
+        let o = Options::quick();
+        assert_ne!(o.sub_seed(1), o.sub_seed(2));
+    }
+}

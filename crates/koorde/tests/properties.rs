@@ -1,0 +1,118 @@
+//! Property tests for the Koorde baseline: imaginary-node lookup
+//! correctness, flooding completeness, and the clustering behaviour the
+//! CAM paper criticizes.
+
+use cam_overlay::{Member, MemberSet, StaticOverlay};
+use cam_ring::{Id, IdSpace};
+use koorde_overlay::Koorde;
+use proptest::prelude::*;
+
+fn arb_group() -> impl Strategy<Value = (MemberSet, u32)> {
+    (1usize..200, 0u32..4, 0u64..500).prop_map(|(n, deg_pow, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let space = IdSpace::new(13);
+        let mut ids = std::collections::BTreeSet::new();
+        while ids.len() < n {
+            ids.insert(rng.gen_range(0..space.size()));
+        }
+        let group = MemberSet::new(
+            space,
+            ids.iter()
+                .map(|&v| Member::with_capacity(Id(v), 10))
+                .collect(),
+        )
+        .unwrap();
+        (group, 1 << (deg_pow + 1)) // degrees 2, 4, 8, 16
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Imaginary-node lookups find the oracle owner.
+    #[test]
+    fn lookup_oracle((group, degree) in arb_group(), key in 0u64..(1 << 13), origin_sel in 0usize..1000) {
+        let koorde = Koorde::new(group.clone(), degree);
+        let origin = origin_sel % group.len();
+        let key = Id(key);
+        prop_assert_eq!(koorde.lookup(origin, key).owner, group.owner_idx(key));
+    }
+
+    /// Flooding reaches every member exactly once from any source.
+    #[test]
+    fn flooding_exactly_once((group, degree) in arb_group(), src_sel in 0usize..1000) {
+        let koorde = Koorde::new(group.clone(), degree);
+        let src = src_sel % group.len();
+        let tree = koorde.multicast_tree(src);
+        prop_assert!(tree.is_complete());
+        let edges: usize = (0..group.len()).map(|m| tree.fanout(m)).sum();
+        prop_assert_eq!(edges, group.len() - 1);
+    }
+
+    /// Degree bound: pred + succ + ≤ k de Bruijn owners.
+    #[test]
+    fn degree_bound((group, degree) in arb_group(), m_sel in 0usize..1000) {
+        let koorde = Koorde::new(group.clone(), degree);
+        let m = m_sel % group.len();
+        prop_assert!(koorde.neighbor_count(m) <= degree as usize + 2);
+    }
+
+    /// De Bruijn targets are k consecutive identifiers (the clustering the
+    /// CAM paper contrasts with its spread-out right-shift neighbors).
+    #[test]
+    fn targets_are_consecutive(x in 0u64..(1 << 13), deg_pow in 0u32..4) {
+        let space = IdSpace::new(13);
+        let bits = deg_pow + 1;
+        let targets = Koorde::debruijn_targets(space, bits, Id(x));
+        prop_assert_eq!(targets.len(), 1usize << bits);
+        for (j, t) in targets.iter().enumerate() {
+            prop_assert_eq!(
+                t.value(),
+                space.reduce((x << bits) | j as u64).value()
+            );
+        }
+        // Consecutive: max − min == k − 1 (no wraparound within a digit).
+        let lo = targets.iter().map(|t| t.value()).min().unwrap();
+        let hi = targets.iter().map(|t| t.value()).max().unwrap();
+        prop_assert_eq!(hi - lo, (1u64 << bits) - 1);
+    }
+}
+
+/// The clustering quantified: at n ≪ N the k consecutive targets resolve
+/// to far fewer distinct owners than CAM-Koorde's spread-out targets.
+#[test]
+fn left_shift_clusters_versus_cam_spread() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let space = IdSpace::new(19);
+    let mut ids = std::collections::BTreeSet::new();
+    while ids.len() < 2_000 {
+        ids.insert(rng.gen_range(0..space.size()));
+    }
+    let members: Vec<Member> = ids
+        .iter()
+        .map(|&v| Member::with_capacity(Id(v), 16))
+        .collect();
+    let group = MemberSet::new(space, members).unwrap();
+
+    let koorde = Koorde::new(group.clone(), 16);
+    let mean_koorde: f64 = (0..group.len())
+        .map(|m| koorde.neighbor_count(m) as f64)
+        .sum::<f64>()
+        / group.len() as f64;
+
+    let cam = cam_core::CamKoorde::new(group.clone());
+    let mean_cam: f64 = (0..group.len())
+        .map(|m| {
+            use cam_overlay::StaticOverlay as _;
+            cam.neighbor_count(m) as f64
+        })
+        .sum::<f64>()
+        / group.len() as f64;
+
+    assert!(
+        mean_cam > mean_koorde * 2.0,
+        "CAM spread ({mean_cam:.1}) should dwarf left-shift clustering ({mean_koorde:.1})"
+    );
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Measurement utilities for the CAM experiments: histograms, summary
+//! statistics, multicast-tree aggregation across sources, and plain-text /
+//! CSV table emission for every figure of the paper.
+
+pub mod fairness;
+pub mod histogram;
+pub mod plot;
+pub mod series;
+pub mod treeagg;
+
+pub use histogram::{Histogram, Summary};
+pub use plot::ascii_plot;
+pub use series::{DataSeries, DataTable};
+pub use treeagg::TreeAggregator;

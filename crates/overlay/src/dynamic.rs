@@ -1,0 +1,1121 @@
+//! Dynamic-membership DHT nodes on the discrete-event simulator.
+//!
+//! The static overlays answer the paper's performance questions at
+//! 100,000-node scale; this module answers the *resilience* questions: what
+//! happens while members join, leave, and crash. A [`DhtActor`] is a live
+//! node holding its own routing state, kept fresh by Chord-style periodic
+//! stabilization (the paper reuses Chord's maintenance protocols for all
+//! four systems, §3.3/§4.2). Protocols plug in through [`DhtProtocol`],
+//! which supplies the two protocol-specific ingredients:
+//!
+//! * which *identifier targets* a node of a given capacity tracks as
+//!   neighbors, and
+//! * the greedy next-hop choice given the node's current neighbor table.
+//!
+//! Multicast over the live overlay is CAM-Koorde-style constrained flooding
+//! (forward to all resolved neighbors, duplicate-suppressed) or CAM-Chord
+//! region splitting, chosen by the protocol's
+//! [`DhtProtocol::multicast_children`] implementation.
+
+use std::collections::HashMap;
+
+use cam_ring::{Id, IdSpace, Segment};
+use cam_sim::engine::{Actor, ActorId, Context};
+use cam_sim::time::Duration;
+use cam_sim::{LatencyModel, Simulation};
+
+use crate::Member;
+
+/// Number of successors each node tracks for ring resilience. Chord
+/// recommends O(log n); 8 keeps the probability of a full-list wipeout
+/// negligible up to ~30% simultaneous crashes (0.3^8 ≈ 7·10⁻⁵).
+pub const SUCCESSOR_LIST_LEN: usize = 8;
+
+/// Protocol-specific logic plugged into [`DhtActor`].
+pub trait DhtProtocol: Clone {
+    /// Identifier targets this node should resolve and keep resolved as
+    /// neighbors (fingers). Excludes the successor list, which the actor
+    /// maintains unconditionally.
+    fn neighbor_targets(&self, space: IdSpace, me: &Member) -> Vec<Id>;
+
+    /// Routing state carried inside a lookup request (opaque to the
+    /// actor): CAM-Koorde packs the number of key bits its de Bruijn chain
+    /// has absorbed; CAM-Chord needs none. Called by the request initiator.
+    fn initial_state(&self, space: IdSpace, me: &Member, key: Id) -> u64 {
+        let _ = (space, me, key);
+        0
+    }
+
+    /// Given the resolved neighbor table, the next hop for a lookup of
+    /// `key`, or `None` if this node believes its immediate successor owns
+    /// `key`. `state` is the request's routing state (see
+    /// [`DhtProtocol::initial_state`]); implementations may update it.
+    fn next_hop(
+        &self,
+        space: IdSpace,
+        me: &Member,
+        neighbors: &[Member],
+        successor: &Member,
+        predecessor: Option<&Member>,
+        key: Id,
+        state: &mut u64,
+    ) -> Option<Id>;
+
+    /// Members this node forwards a multicast covering `region` to, paired
+    /// with the sub-region each child becomes responsible for (`None` for
+    /// flooding protocols, which rely on duplicate suppression instead of
+    /// region splitting).
+    fn multicast_children(
+        &self,
+        space: IdSpace,
+        me: &Member,
+        neighbors: &[Member],
+        successor: &Member,
+        region: Option<Segment>,
+    ) -> Vec<(Id, Option<Segment>)>;
+}
+
+/// Wire messages exchanged by [`DhtActor`]s.
+#[derive(Debug, Clone)]
+pub enum DhtMsg {
+    /// Route a lookup for `key`; reply to `reply_to` with `LookupDone`.
+    Lookup {
+        /// Key being resolved.
+        key: Id,
+        /// Request correlation id.
+        req_id: u64,
+        /// Actor that receives the answer.
+        reply_to: ActorId,
+        /// Hops taken so far.
+        hops: u32,
+        /// Protocol routing state (see [`DhtProtocol::initial_state`]).
+        state: u64,
+    },
+    /// Answer to `Lookup`.
+    LookupDone {
+        /// Request correlation id.
+        req_id: u64,
+        /// The member believed responsible for the key.
+        owner: Member,
+        /// Total overlay hops the request traveled.
+        hops: u32,
+        /// The request hit its TTL and this answer is a best-effort guess;
+        /// it must not be installed into routing tables.
+        gave_up: bool,
+    },
+    /// "Who is your predecessor and successor list?" (stabilization).
+    StabilizeQuery,
+    /// Answer to `StabilizeQuery`.
+    StabilizeReply {
+        /// The replier's current predecessor, if known.
+        predecessor: Option<Member>,
+        /// The replier's successor list.
+        successors: Vec<Member>,
+    },
+    /// "I believe I am your predecessor" (Chord's `notify`).
+    Notify(Member),
+    /// Liveness probe for a finger/neighbor.
+    Ping {
+        /// Correlation id.
+        req_id: u64,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Correlation id.
+        req_id: u64,
+        /// The responder's descriptor (refreshes stale capacity info).
+        member: Member,
+    },
+    /// A multicast message: `(payload id, region this node must cover,
+    /// application bytes)`. As in the paper (§4.3), duplicate suppression
+    /// keys on the message header (the payload id) — the body rides along
+    /// untouched and is handed to the application on first receipt.
+    Multicast {
+        /// Identifies the multicast session (for duplicate suppression).
+        payload: u64,
+        /// Region to cover (region-splitting protocols) or `None`
+        /// (flooding).
+        region: Option<Segment>,
+        /// Hop count from the source.
+        hops: u32,
+        /// Application payload (cheaply reference-counted).
+        data: bytes::Bytes,
+    },
+    /// Anti-entropy: "these are the multicast payloads I have" (sent
+    /// periodically to the successor and a random finger when enabled).
+    AntiEntropyDigest {
+        /// Payload ids the sender has received.
+        have: Vec<u64>,
+    },
+    /// Anti-entropy: "send me these payloads I am missing".
+    PayloadPullReq {
+        /// Payload ids requested.
+        want: Vec<u64>,
+    },
+    /// Anti-entropy: one recovered payload (recorded locally, not
+    /// re-flooded — the epidemic spreads through subsequent digests).
+    PayloadPush {
+        /// Payload id.
+        payload: u64,
+        /// Hop count to attribute (the recoverer's + 1).
+        hops: u32,
+        /// Application bytes.
+        data: bytes::Bytes,
+    },
+    /// Ask a bootstrap node to find the joiner's successor.
+    JoinRequest {
+        /// The joining member.
+        joiner: Member,
+        /// Actor id of the joiner.
+        joiner_actor: ActorId,
+    },
+    /// Tell the joiner its successor list (head = immediate successor;
+    /// the rest seeds resilience so the joiner survives its successor
+    /// crashing before the first stabilization round).
+    JoinAnswer {
+        /// The joiner's future successor list.
+        successors: Vec<Member>,
+    },
+}
+
+/// Per-node state and behaviour of a live DHT participant.
+#[derive(Debug, Clone)]
+pub struct DhtActor<P: DhtProtocol> {
+    space: IdSpace,
+    me: Member,
+    protocol: P,
+    /// Resolved routing entries: target identifier → member currently
+    /// believed responsible for it.
+    fingers: HashMap<u64, Member>,
+    /// Identifier targets (cached from the protocol).
+    targets: Vec<Id>,
+    successors: Vec<Member>,
+    predecessor: Option<Member>,
+    /// Multicast payloads already seen (duplicate suppression).
+    seen_payloads: HashMap<u64, u32>,
+    /// Application bytes delivered per payload (first copy wins).
+    delivered_data: HashMap<u64, bytes::Bytes>,
+    /// Directory mapping member ids to actor ids (set by the harness; in a
+    /// deployment this is the address book piggybacked on every message).
+    directory: HashMap<u64, ActorId>,
+    /// Outstanding lookup requests this node initiated: req_id → purpose.
+    pending: HashMap<u64, PendingLookup>,
+    /// Liveness probes in flight: req_id → (finger target, probed member).
+    pending_pings: HashMap<u64, (u64, Id)>,
+    /// Consecutive failed probes per member id — pruning requires two
+    /// strikes so a single lost Ping/Pong (message loss, not death) does
+    /// not evict a live finger.
+    ping_strikes: HashMap<u64, u8>,
+    /// Outstanding predecessor liveness probe (Chord's check_predecessor):
+    /// `(req_id, probed predecessor)`.
+    pending_pred_ping: Option<(u64, Id)>,
+    /// Consecutive unanswered predecessor probes.
+    pred_strikes: u8,
+    /// Round-robin cursor over `targets` for probing/refreshing fingers
+    /// (advances by exactly the number of slots visited per round, so
+    /// every slot is reached regardless of request-id arithmetic).
+    fix_cursor: usize,
+    /// True while a StabilizeQuery to the current successor is unanswered;
+    /// still set at the next stabilize tick ⇒ one strike (two consecutive
+    /// strikes, not a single lost message, declare the successor dead).
+    awaiting_stabilize: bool,
+    /// Consecutive unanswered stabilize queries to the current successor.
+    stabilize_strikes: u8,
+    next_req_id: u64,
+    joined: bool,
+    stabilize_every: Duration,
+    /// Whether this node takes part in anti-entropy payload repair
+    /// (pbcast-style pull gossip; see `set_anti_entropy`).
+    anti_entropy: bool,
+    /// Statistics: multicast payloads received (payload, hops).
+    pub received_log: Vec<(u64, u32)>,
+}
+
+#[derive(Debug, Clone)]
+enum PendingLookup {
+    /// Refreshing the finger for this target identifier.
+    FixFinger(Id),
+}
+
+/// Timer tags.
+const TIMER_STABILIZE: u64 = 1;
+const TIMER_FIX_FINGERS: u64 = 2;
+const TIMER_ANTI_ENTROPY: u64 = 3;
+
+impl<P: DhtProtocol> DhtActor<P> {
+    /// Creates a node that already knows its place on the ring (used to
+    /// bootstrap an initial stable network).
+    pub fn new(space: IdSpace, me: Member, protocol: P) -> Self {
+        let targets = protocol.neighbor_targets(space, &me);
+        DhtActor {
+            space,
+            me,
+            protocol,
+            fingers: HashMap::new(),
+            targets,
+            successors: Vec::new(),
+            predecessor: None,
+            seen_payloads: HashMap::new(),
+            delivered_data: HashMap::new(),
+            directory: HashMap::new(),
+            pending: HashMap::new(),
+            pending_pings: HashMap::new(),
+            ping_strikes: HashMap::new(),
+            pending_pred_ping: None,
+            pred_strikes: 0,
+            fix_cursor: 0,
+            awaiting_stabilize: false,
+            stabilize_strikes: 0,
+            next_req_id: 1,
+            joined: false,
+            stabilize_every: Duration::from_millis(500),
+            anti_entropy: false,
+            received_log: Vec::new(),
+        }
+    }
+
+    /// The member descriptor of this node.
+    pub fn member(&self) -> &Member {
+        &self.me
+    }
+
+    /// This node's current successor, if it has one.
+    pub fn successor(&self) -> Option<&Member> {
+        self.successors.first()
+    }
+
+    /// This node's current predecessor, if known.
+    pub fn predecessor(&self) -> Option<&Member> {
+        self.predecessor.as_ref()
+    }
+
+    /// Raw resolved finger entries `(target identifier, member)` — for
+    /// diagnostics and tests.
+    pub fn finger_entries(&self) -> Vec<(u64, Member)> {
+        let mut v: Vec<(u64, Member)> = self.fingers.iter().map(|(&t, &m)| (t, m)).collect();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Current resolved neighbor members (deduplicated).
+    pub fn neighbor_members(&self) -> Vec<Member> {
+        let mut out: Vec<Member> = Vec::new();
+        for m in self.fingers.values() {
+            if m.id != self.me.id && !out.iter().any(|o| o.id == m.id) {
+                out.push(*m);
+            }
+        }
+        out
+    }
+
+    /// Seeds ring pointers and fingers directly (harness bootstrap).
+    pub fn seed_state(
+        &mut self,
+        successors: Vec<Member>,
+        predecessor: Member,
+        fingers: Vec<(Id, Member)>,
+    ) {
+        self.successors = successors;
+        self.predecessor = Some(predecessor);
+        for (t, m) in fingers {
+            self.fingers.insert(t.value(), m);
+        }
+        self.joined = true;
+    }
+
+    /// Installs the id → actor directory (harness responsibility).
+    pub fn set_directory(&mut self, directory: HashMap<u64, ActorId>) {
+        self.directory = directory;
+    }
+
+    /// Adds one directory entry (e.g. for a recently joined node).
+    pub fn add_directory_entry(&mut self, id: Id, actor: ActorId) {
+        self.directory.insert(id.value(), actor);
+    }
+
+    /// How many multicast payloads this node has received.
+    pub fn payloads_received(&self) -> usize {
+        self.seen_payloads.len()
+    }
+
+    /// Hop count at which `payload` arrived, if it did.
+    pub fn payload_hops(&self, payload: u64) -> Option<u32> {
+        self.seen_payloads.get(&payload).copied()
+    }
+
+    /// The application bytes delivered for `payload`, if it arrived.
+    pub fn payload_data(&self, payload: u64) -> Option<&bytes::Bytes> {
+        self.delivered_data.get(&payload)
+    }
+
+    /// Whether this node has completed its join.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// Enables anti-entropy payload repair: the node periodically
+    /// exchanges payload digests with its successor and one finger, and
+    /// pulls anything it missed. This is the classic epidemic complement
+    /// to best-effort multicast (pbcast): it converges delivery to 100%
+    /// under message loss and tree breakage at the cost of periodic
+    /// digest traffic.
+    pub fn set_anti_entropy(&mut self, enabled: bool) {
+        self.anti_entropy = enabled;
+    }
+
+    fn actor_of(&self, id: Id) -> Option<ActorId> {
+        self.directory.get(&id.value()).copied()
+    }
+
+    fn send_to_member(&self, ctx: &mut Context<'_, DhtMsg>, id: Id, msg: DhtMsg) {
+        if let Some(actor) = self.actor_of(id) {
+            ctx.send(actor, msg);
+        }
+        // Unknown address: the message is lost, like a stale routing entry.
+    }
+
+    /// Arms the periodic maintenance timers; call once after inserting the
+    /// actor into the simulation.
+    pub fn start_maintenance(ctx_sim: &mut Simulation<Self>, actor: ActorId, jitter: u64) {
+        let base = Duration::from_millis(500);
+        ctx_sim.post_timer(actor, base + Duration::from_millis(jitter % 250), TIMER_STABILIZE);
+        ctx_sim.post_timer(
+            actor,
+            base.saturating_mul(2) + Duration::from_millis(jitter % 333),
+            TIMER_FIX_FINGERS,
+        );
+        ctx_sim.post_timer(
+            actor,
+            base.saturating_mul(3) + Duration::from_millis(jitter % 451),
+            TIMER_ANTI_ENTROPY,
+        );
+    }
+
+    fn fresh_req_id(&mut self) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        id
+    }
+
+    fn handle_lookup(
+        &mut self,
+        ctx: &mut Context<'_, DhtMsg>,
+        key: Id,
+        req_id: u64,
+        reply_to: ActorId,
+        hops: u32,
+        mut state: u64,
+    ) {
+        let answer = |ctx: &mut Context<'_, DhtMsg>, owner: Member, gave_up: bool| {
+            ctx.send(
+                reply_to,
+                DhtMsg::LookupDone {
+                    req_id,
+                    owner,
+                    hops,
+                    gave_up,
+                },
+            );
+        };
+        // TTL: a lookup that has bounced this long is circling a damaged
+        // overlay; answer best-effort so the requester can move on.
+        if hops > 4 * self.space.bits() + 32 {
+            answer(ctx, self.me, true);
+            return;
+        }
+        // Owner check: key in (me, successor] → successor owns it;
+        // key in (predecessor, me] → I own it.
+        if let Some(pred) = &self.predecessor {
+            if self.space.in_segment(key, pred.id, self.me.id) || key == self.me.id {
+                answer(ctx, self.me, false);
+                return;
+            }
+        }
+        let Some(succ) = self.successors.first().copied() else {
+            // Isolated node: answer with self to terminate the request.
+            answer(ctx, self.me, true);
+            return;
+        };
+        if self.space.in_segment(key, self.me.id, succ.id) {
+            answer(ctx, succ, false);
+            return;
+        }
+        let neighbors = self.neighbor_members();
+        let next = self
+            .protocol
+            .next_hop(
+                self.space,
+                &self.me,
+                &neighbors,
+                &succ,
+                self.predecessor.as_ref(),
+                key,
+                &mut state,
+            )
+            .unwrap_or(succ.id);
+        // A stalled route falls back to the successor to keep progress.
+        let next = if next == self.me.id { succ.id } else { next };
+        self.send_to_member(
+            ctx,
+            next,
+            DhtMsg::Lookup {
+                key,
+                req_id,
+                reply_to,
+                hops: hops + 1,
+                state,
+            },
+        );
+    }
+
+    fn handle_multicast(
+        &mut self,
+        ctx: &mut Context<'_, DhtMsg>,
+        payload: u64,
+        region: Option<Segment>,
+        hops: u32,
+        data: bytes::Bytes,
+    ) {
+        if self.seen_payloads.contains_key(&payload) {
+            return; // duplicate
+        }
+        self.seen_payloads.insert(payload, hops);
+        self.received_log.push((payload, hops));
+        self.delivered_data.insert(payload, data.clone());
+        let Some(succ) = self.successors.first().copied() else {
+            return;
+        };
+        let neighbors = self.neighbor_members();
+        for (child, child_region) in
+            self.protocol
+                .multicast_children(self.space, &self.me, &neighbors, &succ, region)
+        {
+            self.send_to_member(
+                ctx,
+                child,
+                DhtMsg::Multicast {
+                    payload,
+                    region: child_region,
+                    hops: hops + 1,
+                    data: data.clone(),
+                },
+            );
+        }
+    }
+
+    fn handle_anti_entropy_timer(&mut self, ctx: &mut Context<'_, DhtMsg>) {
+        if self.anti_entropy {
+            let have: Vec<u64> = self.seen_payloads.keys().copied().collect();
+            let mut targets: Vec<Id> = Vec::new();
+            if let Some(succ) = self.successors.first() {
+                targets.push(succ.id);
+            }
+            let neighbors = self.neighbor_members();
+            if !neighbors.is_empty() {
+                let pick = (ctx.rng().uniform_incl(0, neighbors.len() as u64 - 1)) as usize;
+                targets.push(neighbors[pick].id);
+            }
+            for t in targets {
+                self.send_to_member(ctx, t, DhtMsg::AntiEntropyDigest { have: have.clone() });
+            }
+        }
+        // Always re-arm so enabling anti-entropy later takes effect.
+        ctx.set_timer(self.stabilize_every.saturating_mul(2), TIMER_ANTI_ENTROPY);
+    }
+
+    fn handle_stabilize_timer(&mut self, ctx: &mut Context<'_, DhtMsg>) {
+        // Failure detection: the query sent at the previous tick went
+        // unanswered — strike; two consecutive strikes declare the
+        // successor dead and promote the next one (a single strike may be
+        // plain message loss).
+        if self.awaiting_stabilize {
+            self.stabilize_strikes += 1;
+            if self.stabilize_strikes >= 2 && self.successors.len() > 1 {
+                let dead = self.successors.remove(0);
+                self.fingers.retain(|_, m| m.id != dead.id);
+                self.stabilize_strikes = 0;
+            }
+        } else {
+            self.stabilize_strikes = 0;
+        }
+        if let Some(succ) = self.successors.first().copied() {
+            self.awaiting_stabilize = true;
+            self.send_to_member(ctx, succ.id, DhtMsg::StabilizeQuery);
+        }
+        // Chord's check_predecessor: the probe from the previous tick went
+        // unanswered — strike; two strikes clear the predecessor so a live
+        // claimant's Notify can take the slot.
+        if let Some((_, probed)) = self.pending_pred_ping.take() {
+            if self.predecessor.map(|p| p.id) == Some(probed) {
+                self.pred_strikes += 1;
+                if self.pred_strikes >= 2 {
+                    self.predecessor = None;
+                    self.pred_strikes = 0;
+                }
+            } else {
+                self.pred_strikes = 0;
+            }
+        }
+        if let Some(pred) = self.predecessor {
+            let req_id = self.fresh_req_id();
+            self.pending_pred_ping = Some((req_id, pred.id));
+            self.send_to_member(ctx, pred.id, DhtMsg::Ping { req_id });
+        }
+        ctx.set_timer(self.stabilize_every, TIMER_STABILIZE);
+    }
+
+    fn handle_fix_fingers_timer(&mut self, ctx: &mut Context<'_, DhtMsg>) {
+        // 1. Probes from the previous round that never came back: give the
+        //    probed member a strike; two consecutive strikes (distinguishing
+        //    death from a single lost Ping/Pong) evict every finger pointing
+        //    at it, so neither routing nor multicast forwards into the void.
+        let timed_out: Vec<(u64, Id)> = self.pending_pings.drain().map(|(_, v)| v).collect();
+        for (_, suspect) in timed_out {
+            let strikes = self.ping_strikes.entry(suspect.value()).or_insert(0);
+            *strikes += 1;
+            if *strikes >= 2 {
+                self.fingers.retain(|_, m| m.id != suspect);
+                self.ping_strikes.remove(&suspect.value());
+            }
+        }
+        // 2. Probe and refresh a window of finger slots, round-robin via a
+        //    dedicated cursor (the cursor advances by exactly the window
+        //    size, so every slot is visited every ⌈len/3⌉ rounds — indexing
+        //    by request-id arithmetic would skip slots whenever the id
+        //    stride shared a factor with the table length).
+        let me_actor = ctx.me();
+        if !self.targets.is_empty() {
+            let len = self.targets.len();
+            let window = 3.min(len);
+            let mut probe_victims: Vec<(u64, Id)> = Vec::new();
+            for i in 0..window {
+                let idx = (self.fix_cursor + i) % len;
+                let target = self.targets[idx];
+                // Probe the current resident of the slot…
+                if let Some(m) = self.fingers.get(&target.value()) {
+                    probe_victims.push((target.value(), m.id));
+                }
+                // …and re-resolve the slot.
+                let req_id = self.fresh_req_id();
+                self.pending.insert(req_id, PendingLookup::FixFinger(target));
+                let state = self.protocol.initial_state(self.space, &self.me, target);
+                self.handle_lookup(ctx, target, req_id, me_actor, 0, state);
+            }
+            self.fix_cursor = (self.fix_cursor + window) % len;
+            for (target, member_id) in probe_victims {
+                let req_id = self.fresh_req_id();
+                self.pending_pings.insert(req_id, (target, member_id));
+                self.send_to_member(ctx, member_id, DhtMsg::Ping { req_id });
+            }
+        }
+        ctx.set_timer(self.stabilize_every.saturating_mul(2), TIMER_FIX_FINGERS);
+    }
+}
+
+impl<P: DhtProtocol> Actor for DhtActor<P> {
+    type Msg = DhtMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DhtMsg>, from: ActorId, msg: DhtMsg) {
+        match msg {
+            DhtMsg::Lookup {
+                key,
+                req_id,
+                reply_to,
+                hops,
+                state,
+            } => self.handle_lookup(ctx, key, req_id, reply_to, hops, state),
+            DhtMsg::LookupDone {
+                req_id,
+                owner,
+                gave_up,
+                ..
+            } => match self.pending.remove(&req_id) {
+                Some(PendingLookup::FixFinger(target)) if !gave_up => {
+                    self.fingers.insert(target.value(), owner);
+                }
+                _ => {}
+            },
+            DhtMsg::StabilizeQuery => {
+                let _ = from;
+                let mut successors = Vec::with_capacity(SUCCESSOR_LIST_LEN);
+                successors.push(self.me);
+                successors.extend(
+                    self.successors
+                        .iter()
+                        .copied()
+                        .take(SUCCESSOR_LIST_LEN - 1),
+                );
+                ctx.send(
+                    from,
+                    DhtMsg::StabilizeReply {
+                        predecessor: self.predecessor,
+                        successors,
+                    },
+                );
+            }
+            DhtMsg::StabilizeReply {
+                predecessor,
+                successors,
+            } => {
+                self.awaiting_stabilize = false;
+                // Chord stabilize: if succ's predecessor is between me and
+                // succ, adopt it as my successor.
+                if let (Some(p), Some(succ)) = (predecessor, self.successors.first().copied()) {
+                    if p.id != self.me.id && self.space.in_segment(p.id, self.me.id, succ.id) {
+                        let mut list = vec![p];
+                        list.extend(self.successors.iter().copied());
+                        list.truncate(SUCCESSOR_LIST_LEN);
+                        self.successors = list;
+                    } else {
+                        // Adopt succ's list shifted behind succ.
+                        let mut list = vec![succ];
+                        list.extend(successors.into_iter().filter(|m| m.id != succ.id));
+                        list.truncate(SUCCESSOR_LIST_LEN);
+                        self.successors = list;
+                    }
+                }
+                if let Some(succ) = self.successors.first().copied() {
+                    self.send_to_member(ctx, succ.id, DhtMsg::Notify(self.me));
+                }
+            }
+            DhtMsg::Notify(candidate) => {
+                let adopt = match &self.predecessor {
+                    None => true,
+                    Some(p) => self.space.in_segment(candidate.id, p.id, self.me.id),
+                };
+                if adopt && candidate.id != self.me.id {
+                    self.predecessor = Some(candidate);
+                }
+            }
+            DhtMsg::Ping { req_id } => {
+                ctx.send(
+                    from,
+                    DhtMsg::Pong {
+                        req_id,
+                        member: self.me,
+                    },
+                );
+            }
+            DhtMsg::Pong { req_id, member } => {
+                if self.pending_pred_ping.map(|(id, _)| id) == Some(req_id) {
+                    self.pending_pred_ping = None;
+                    self.pred_strikes = 0;
+                } else if let Some((target, probed)) = self.pending_pings.remove(&req_id) {
+                    if probed == member.id {
+                        // Refresh the entry (capacity/bandwidth may change)
+                        // and clear any strike from a previously lost probe.
+                        self.fingers.insert(target, member);
+                        self.ping_strikes.remove(&member.id.value());
+                    }
+                }
+            }
+            DhtMsg::Multicast {
+                payload,
+                region,
+                hops,
+                data,
+            } => self.handle_multicast(ctx, payload, region, hops, data),
+            DhtMsg::AntiEntropyDigest { have } => {
+                let their: std::collections::HashSet<u64> = have.iter().copied().collect();
+                // Push what they're missing…
+                for (&p, &hops) in &self.seen_payloads {
+                    if !their.contains(&p) {
+                        let data = self
+                            .delivered_data
+                            .get(&p)
+                            .cloned()
+                            .unwrap_or_default();
+                        ctx.send(
+                            from,
+                            DhtMsg::PayloadPush {
+                                payload: p,
+                                hops: hops + 1,
+                                data,
+                            },
+                        );
+                    }
+                }
+                // …and pull what we're missing.
+                let want: Vec<u64> = have
+                    .into_iter()
+                    .filter(|p| !self.seen_payloads.contains_key(p))
+                    .collect();
+                if !want.is_empty() {
+                    ctx.send(from, DhtMsg::PayloadPullReq { want });
+                }
+            }
+            DhtMsg::PayloadPullReq { want } => {
+                for p in want {
+                    if let Some(&hops) = self.seen_payloads.get(&p) {
+                        let data = self
+                            .delivered_data
+                            .get(&p)
+                            .cloned()
+                            .unwrap_or_default();
+                        ctx.send(
+                            from,
+                            DhtMsg::PayloadPush {
+                                payload: p,
+                                hops: hops + 1,
+                                data,
+                            },
+                        );
+                    }
+                }
+            }
+            DhtMsg::PayloadPush {
+                payload,
+                hops,
+                data,
+            } => {
+                if !self.seen_payloads.contains_key(&payload) {
+                    self.seen_payloads.insert(payload, hops);
+                    self.received_log.push((payload, hops));
+                    self.delivered_data.insert(payload, data);
+                }
+            }
+            DhtMsg::JoinRequest {
+                joiner,
+                joiner_actor,
+            } => {
+                // Route a lookup for the joiner's id; when it completes we
+                // cannot intercept here without more state, so answer
+                // directly if we already know: simplest correct behaviour is
+                // to forward the request greedily toward the owner.
+                if let Some(pred) = &self.predecessor {
+                    if self.space.in_segment(joiner.id, pred.id, self.me.id) {
+                        let mut successors = vec![self.me];
+                        successors.extend(self.successors.iter().copied());
+                        successors.truncate(SUCCESSOR_LIST_LEN);
+                        ctx.send(joiner_actor, DhtMsg::JoinAnswer { successors });
+                        return;
+                    }
+                }
+                if let Some(succ) = self.successors.first().copied() {
+                    if self.space.in_segment(joiner.id, self.me.id, succ.id) {
+                        // My own successor list *is* the joiner's future
+                        // list (it starts at succ).
+                        ctx.send(
+                            joiner_actor,
+                            DhtMsg::JoinAnswer {
+                                successors: self.successors.clone(),
+                            },
+                        );
+                        return;
+                    }
+                    let neighbors = self.neighbor_members();
+                    let mut state = self.protocol.initial_state(self.space, &self.me, joiner.id);
+                    let next = self
+                        .protocol
+                        .next_hop(
+                            self.space,
+                            &self.me,
+                            &neighbors,
+                            &succ,
+                            self.predecessor.as_ref(),
+                            joiner.id,
+                            &mut state,
+                        )
+                        .unwrap_or(succ.id);
+                    let next = if next == self.me.id { succ.id } else { next };
+                    self.send_to_member(
+                        ctx,
+                        next,
+                        DhtMsg::JoinRequest {
+                            joiner,
+                            joiner_actor,
+                        },
+                    );
+                }
+            }
+            DhtMsg::JoinAnswer { successors } => {
+                if !self.joined && !successors.is_empty() {
+                    let head = successors[0];
+                    self.successors = successors;
+                    self.successors.truncate(SUCCESSOR_LIST_LEN);
+                    self.joined = true;
+                    self.send_to_member(ctx, head.id, DhtMsg::Notify(self.me));
+                    ctx.set_timer(Duration::from_millis(50), TIMER_STABILIZE);
+                    ctx.set_timer(Duration::from_millis(100), TIMER_FIX_FINGERS);
+                    ctx.set_timer(Duration::from_millis(150), TIMER_ANTI_ENTROPY);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DhtMsg>, tag: u64) {
+        match tag {
+            TIMER_STABILIZE => self.handle_stabilize_timer(ctx),
+            TIMER_FIX_FINGERS => self.handle_fix_fingers_timer(ctx),
+            TIMER_ANTI_ENTROPY => self.handle_anti_entropy_timer(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// A harness owning a simulation of [`DhtActor`]s plus the id → actor
+/// directory, with convenience operations for the churn experiments.
+pub struct DynamicNetwork<P: DhtProtocol> {
+    /// The underlying event simulation.
+    pub sim: Simulation<DhtActor<P>>,
+    space: IdSpace,
+    actors: Vec<(Member, ActorId)>,
+    next_payload: u64,
+}
+
+impl<P: DhtProtocol> DynamicNetwork<P> {
+    /// Builds a *converged* network of the given members: every node starts
+    /// with correct successors, predecessor, and fingers (what
+    /// stabilization would eventually produce), and maintenance timers
+    /// running. Use [`DynamicNetwork::kill_random`] / [`DynamicNetwork::inject_join`] to perturb it.
+    pub fn converged(
+        space: IdSpace,
+        members: &[Member],
+        protocol: P,
+        seed: u64,
+        latency: LatencyModel,
+    ) -> Self {
+        let mut sorted = members.to_vec();
+        sorted.sort_by_key(|m| m.id);
+        let n = sorted.len();
+        assert!(n > 0, "empty network");
+
+        let mut sim = Simulation::new(seed, latency);
+        let mut actors = Vec::with_capacity(n);
+        for m in &sorted {
+            let actor = DhtActor::new(space, *m, protocol.clone());
+            let id = sim.add_actor(actor);
+            actors.push((*m, id));
+        }
+        let directory: HashMap<u64, ActorId> =
+            actors.iter().map(|(m, a)| (m.id.value(), *a)).collect();
+
+        // Oracle resolution of every node's pointers.
+        let ids: Vec<Id> = sorted.iter().map(|m| m.id).collect();
+        let owner_of = |k: Id| -> Member {
+            let i = ids.partition_point(|&x| x < k);
+            sorted[if i == n { 0 } else { i }]
+        };
+        for (i, (m, actor_id)) in actors.iter().enumerate() {
+            let succs: Vec<Member> = (1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)).max(1))
+                .map(|d| sorted[(i + d) % n])
+                .collect();
+            let pred = sorted[(i + n - 1) % n];
+            let targets = protocol.neighbor_targets(space, m);
+            let fingers: Vec<(Id, Member)> =
+                targets.iter().map(|&t| (t, owner_of(t))).collect();
+            let a = sim.actor_mut(*actor_id).expect("just added");
+            a.seed_state(succs, pred, fingers);
+            a.set_directory(directory.clone());
+        }
+        for (i, (_, actor_id)) in actors.iter().enumerate() {
+            DhtActor::start_maintenance(&mut sim, *actor_id, i as u64 * 37);
+        }
+        DynamicNetwork {
+            sim,
+            space,
+            actors,
+            next_payload: 1,
+        }
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Live members, in ring order.
+    pub fn live_members(&self) -> Vec<Member> {
+        self.actors
+            .iter()
+            .filter(|(_, a)| self.sim.is_alive(*a))
+            .map(|(m, _)| *m)
+            .collect()
+    }
+
+    /// All `(member, actor)` pairs ever added.
+    pub fn actors(&self) -> &[(Member, ActorId)] {
+        &self.actors
+    }
+
+    /// Kills `count` distinct random live nodes (crash failures), never the
+    /// node at `spare` (usually the multicast source), and returns how many
+    /// were killed.
+    pub fn kill_random(&mut self, count: usize, spare: ActorId, rng_seed: u64) -> usize {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut candidates: Vec<ActorId> = self
+            .actors
+            .iter()
+            .map(|(_, a)| *a)
+            .filter(|a| *a != spare && self.sim.is_alive(*a))
+            .collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        candidates.shuffle(&mut rng);
+        let victims = candidates.into_iter().take(count).collect::<Vec<_>>();
+        for v in &victims {
+            self.sim.kill(*v);
+        }
+        victims.len()
+    }
+
+    /// Adds a fresh member as a live actor and starts its join through a
+    /// random live bootstrap node. The harness updates every node's
+    /// address book (directory) — the deployment equivalent is carrying
+    /// addresses on the wire.
+    ///
+    /// Returns the new actor id, or `None` if the member's identifier is
+    /// already present or no live bootstrap exists.
+    pub fn inject_join(&mut self, member: Member, protocol: P) -> Option<ActorId> {
+        if self.actors.iter().any(|(m, _)| m.id == member.id) {
+            return None;
+        }
+        let bootstrap = self
+            .actors
+            .iter()
+            .map(|(_, a)| *a)
+            .find(|a| self.sim.is_alive(*a))?;
+        let mut actor = DhtActor::new(self.space, member, protocol);
+        // Full address book for the newcomer…
+        let directory: HashMap<u64, ActorId> = self
+            .actors
+            .iter()
+            .map(|(m, a)| (m.id.value(), *a))
+            .collect();
+        actor.set_directory(directory);
+        let new_id = self.sim.add_actor(actor);
+        self.sim
+            .actor_mut(new_id)
+            .expect("just added")
+            .add_directory_entry(member.id, new_id);
+        // …and the newcomer's address for everybody else.
+        let pairs: Vec<ActorId> = self.actors.iter().map(|(_, a)| *a).collect();
+        for a in pairs {
+            if let Some(existing) = self.sim.actor_mut(a) {
+                existing.add_directory_entry(member.id, new_id);
+            }
+        }
+        self.actors.push((member, new_id));
+        self.sim.post(
+            new_id,
+            bootstrap,
+            DhtMsg::JoinRequest {
+                joiner: member,
+                joiner_actor: new_id,
+            },
+        );
+        Some(new_id)
+    }
+
+    /// Removes the member with identifier `id` (crash semantics: peers
+    /// discover the departure through failure detection). Returns whether
+    /// a live actor was removed.
+    pub fn remove_member(&mut self, id: Id) -> bool {
+        match self.actor_of(id) {
+            Some(a) if self.sim.is_alive(a) => {
+                self.sim.kill(a);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Enables anti-entropy payload repair on every live node (see
+    /// [`DhtActor::set_anti_entropy`]).
+    pub fn enable_anti_entropy(&mut self) {
+        let pairs: Vec<ActorId> = self.actors.iter().map(|(_, a)| *a).collect();
+        for a in pairs {
+            if let Some(actor) = self.sim.actor_mut(a) {
+                actor.set_anti_entropy(true);
+            }
+        }
+    }
+
+    /// The actor id of the member with identifier `id`, if it ever joined.
+    pub fn actor_of(&self, id: Id) -> Option<ActorId> {
+        self.actors
+            .iter()
+            .find(|(m, _)| m.id == id)
+            .map(|(_, a)| *a)
+    }
+
+    /// Initiates a multicast at `source` and returns the payload id.
+    ///
+    /// `region_split`: `true` for CAM-Chord-style region multicast, `false`
+    /// for flooding. The payload is injected as a self-addressed message.
+    pub fn start_multicast(&mut self, source: ActorId, region_split: bool) -> u64 {
+        self.start_multicast_with_data(source, region_split, bytes::Bytes::new())
+    }
+
+    /// Like [`DynamicNetwork::start_multicast`], carrying application
+    /// bytes that every member receives along with the header.
+    pub fn start_multicast_with_data(
+        &mut self,
+        source: ActorId,
+        region_split: bool,
+        data: bytes::Bytes,
+    ) -> u64 {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let member = self
+            .sim
+            .actor(source)
+            .expect("source must be alive")
+            .member()
+            .id;
+        let region = if region_split {
+            Some(Segment::all_but(self.space, member))
+        } else {
+            None
+        };
+        self.sim.post(
+            source,
+            source,
+            DhtMsg::Multicast {
+                payload,
+                region,
+                hops: 0,
+                data,
+            },
+        );
+        payload
+    }
+
+    /// Fraction of live nodes that received `payload`.
+    pub fn delivery_ratio(&self, payload: u64) -> f64 {
+        let mut live = 0usize;
+        let mut got = 0usize;
+        for (_, a) in &self.actors {
+            if let Some(actor) = self.sim.actor(*a) {
+                live += 1;
+                if actor.payload_hops(payload).is_some() {
+                    got += 1;
+                }
+            }
+        }
+        if live == 0 {
+            0.0
+        } else {
+            got as f64 / live as f64
+        }
+    }
+
+    /// Mean hop count of `payload` over nodes that received it.
+    pub fn mean_hops(&self, payload: u64) -> f64 {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for (_, a) in &self.actors {
+            if let Some(actor) = self.sim.actor(*a) {
+                if let Some(h) = actor.payload_hops(payload) {
+                    total += u64::from(h);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}

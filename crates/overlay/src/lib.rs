@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Shared substrate for structured-overlay multicast systems.
+//!
+//! Everything the four protocols (Chord, Koorde, CAM-Chord, CAM-Koorde)
+//! have in common lives here:
+//!
+//! * [`Member`] / [`MemberSet`] — the multicast group: hosts with
+//!   identifiers, capacities, and upload bandwidths, sorted on the ring.
+//!   `MemberSet` answers *oracle* questions (`successor`, `predecessor`,
+//!   `owner of identifier k`) by binary search; the static overlays resolve
+//!   their neighbor tables against it, and tests use it as ground truth for
+//!   lookup correctness.
+//! * [`MulticastTree`] — the implicit dissemination tree extracted from a
+//!   multicast run, with exactly-once bookkeeping and statistics (path
+//!   lengths, fan-outs, depth).
+//! * [`LookupResult`] — the outcome of a routed lookup (owner + hop path).
+//! * [`StaticOverlay`] — the trait every protocol implements for the
+//!   large-scale (100k-node) experiments: routing tables computed directly
+//!   from full membership, exactly what a converged maintenance protocol
+//!   would produce.
+//! * [`dynamic`] — a message-level DHT node actor running on
+//!   [`cam_sim`]: join, periodic stabilization, successor lists, failure
+//!   detection, and multicast over the live overlay. Protocols plug in via
+//!   [`dynamic::DhtProtocol`]. This is what backs the churn/resilience
+//!   experiments ("resilient" in the paper's title).
+
+pub mod dynamic;
+pub mod lookup;
+pub mod peer;
+pub mod tree;
+
+pub use lookup::LookupResult;
+pub use peer::{Member, MemberSet};
+pub use tree::{MulticastTree, TreeStats};
+
+use cam_ring::Id;
+
+/// A fully resolved overlay built from complete membership knowledge.
+///
+/// This is the state a correct maintenance protocol converges to; computing
+/// it directly makes 100,000-node experiments (the paper's default group
+/// size) tractable. Implementations exist for Chord, Koorde, CAM-Chord and
+/// CAM-Koorde.
+pub trait StaticOverlay {
+    /// The group this overlay interconnects.
+    fn members(&self) -> &MemberSet;
+
+    /// Routes a lookup for `key` starting at member index `origin`,
+    /// returning the owner (the member responsible for `key`) and the hop
+    /// path taken.
+    fn lookup(&self, origin: usize, key: Id) -> LookupResult;
+
+    /// Runs the protocol's multicast routine from member index `source`,
+    /// returning the implicit dissemination tree.
+    fn multicast_tree(&self, source: usize) -> MulticastTree;
+
+    /// Number of distinct overlay neighbors (routing-table entries) of a
+    /// member — the maintenance cost the paper compares in Section 2.
+    fn neighbor_count(&self, member: usize) -> usize;
+
+    /// Human-readable protocol name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,51 @@
+//! Results of routed lookups.
+
+use std::fmt;
+
+/// Outcome of routing a lookup through an overlay.
+///
+/// Produced by [`StaticOverlay::lookup`](crate::StaticOverlay::lookup); the
+/// path records every member the request visited (starting with the origin,
+/// ending with the node that *answered* — not necessarily the owner, which
+/// may be the answerer's successor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Member index of the node responsible for the key.
+    pub owner: usize,
+    /// Member indices visited, origin first.
+    pub path: Vec<usize>,
+}
+
+impl LookupResult {
+    /// Number of overlay hops the request traveled (path edges).
+    #[inline]
+    pub fn hops(&self) -> u32 {
+        (self.path.len().saturating_sub(1)) as u32
+    }
+}
+
+impl fmt::Display for LookupResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "owner #{} after {} hops", self.owner, self.hops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_counts_edges() {
+        let r = LookupResult {
+            owner: 9,
+            path: vec![1, 4, 9],
+        };
+        assert_eq!(r.hops(), 2);
+        let local = LookupResult {
+            owner: 1,
+            path: vec![1],
+        };
+        assert_eq!(local.hops(), 0);
+        assert_eq!(local.to_string(), "owner #1 after 0 hops");
+    }
+}

@@ -1,0 +1,408 @@
+//! Group membership: hosts on the identifier ring.
+
+use std::fmt;
+
+use cam_ring::{Id, IdSpace};
+use serde::{Deserialize, Serialize};
+
+/// One member of the multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Member {
+    /// Position on the identifier ring (unique within a group).
+    pub id: Id,
+    /// Capacity `c_x`: the maximum number of direct children this host is
+    /// willing to forward multicast messages to (paper, Section 2). Made
+    /// roughly proportional to upload bandwidth by the workload generator.
+    pub capacity: u32,
+    /// Upload bandwidth `B_x` in kbps; determines sustainable throughput.
+    pub upload_kbps: f64,
+}
+
+impl Member {
+    /// Convenience constructor for tests: capacity `c`, bandwidth `c × p`
+    /// with `p = 100` kbps.
+    pub fn with_capacity(id: Id, capacity: u32) -> Member {
+        Member {
+            id,
+            capacity,
+            upload_kbps: capacity as f64 * 100.0,
+        }
+    }
+}
+
+impl fmt::Display for Member {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "member(id={}, c={}, B={}kbps)",
+            self.id, self.capacity, self.upload_kbps
+        )
+    }
+}
+
+/// Error returned by [`MemberSet::new`] when construction is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildMemberSetError {
+    /// Two members mapped to the same identifier.
+    DuplicateId(Id),
+    /// The group was empty.
+    Empty,
+    /// A member's identifier does not fit in the identifier space.
+    IdOutOfSpace(Id),
+    /// A member declared capacity < 2 (no overlay in this workspace can use
+    /// capacity 0 or 1 nodes as internal tree nodes, and CAM-Chord needs
+    /// base ≥ 2 for its level arithmetic).
+    CapacityTooSmall(Id, u32),
+}
+
+impl fmt::Display for BuildMemberSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildMemberSetError::DuplicateId(id) => {
+                write!(f, "duplicate member identifier {id}")
+            }
+            BuildMemberSetError::Empty => write!(f, "member set is empty"),
+            BuildMemberSetError::IdOutOfSpace(id) => {
+                write!(f, "identifier {id} outside the identifier space")
+            }
+            BuildMemberSetError::CapacityTooSmall(id, c) => {
+                write!(f, "member {id} has capacity {c} < 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildMemberSetError {}
+
+/// The multicast group, sorted by identifier.
+///
+/// Provides the ring-oracle queries every overlay needs when resolving its
+/// neighbor tables: *owner* (the paper's `x̂` — the node responsible for an
+/// identifier), *successor*, and *predecessor*, each answered by binary
+/// search in `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// use cam_overlay::{Member, MemberSet};
+/// use cam_ring::{Id, IdSpace};
+///
+/// let space = IdSpace::new(5);
+/// let ids = [0u64, 4, 8, 13, 18, 21, 26, 29]; // the paper's Figure 2 ring
+/// let members: Vec<Member> = ids
+///     .iter()
+///     .map(|&v| Member::with_capacity(Id(v), 3))
+///     .collect();
+/// let group = MemberSet::new(space, members)?;
+///
+/// // x̂ resolution: identifier 1 is owned by node 4 (its successor).
+/// assert_eq!(group.member(group.owner_idx(Id(1))).id, Id(4));
+/// // A node owns its own identifier.
+/// assert_eq!(group.member(group.owner_idx(Id(13))).id, Id(13));
+/// // Wrap-around: identifier 30 is owned by node 0.
+/// assert_eq!(group.member(group.owner_idx(Id(30))).id, Id(0));
+/// # Ok::<(), cam_overlay::peer::BuildMemberSetError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemberSet {
+    space: IdSpace,
+    members: Vec<Member>,
+}
+
+impl MemberSet {
+    /// Builds a group from members in any order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the group is empty, an identifier repeats or is
+    /// out of space, or a capacity is below 2.
+    pub fn new(space: IdSpace, mut members: Vec<Member>) -> Result<Self, BuildMemberSetError> {
+        if members.is_empty() {
+            return Err(BuildMemberSetError::Empty);
+        }
+        for m in &members {
+            if !space.contains(m.id) {
+                return Err(BuildMemberSetError::IdOutOfSpace(m.id));
+            }
+            if m.capacity < 2 {
+                return Err(BuildMemberSetError::CapacityTooSmall(m.id, m.capacity));
+            }
+        }
+        members.sort_by_key(|m| m.id);
+        for w in members.windows(2) {
+            if w[0].id == w[1].id {
+                return Err(BuildMemberSetError::DuplicateId(w[0].id));
+            }
+        }
+        Ok(MemberSet { space, members })
+    }
+
+    /// The identifier space the group lives in.
+    #[inline]
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty (never true: construction rejects it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member at `idx` (members are sorted by identifier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn member(&self, idx: usize) -> &Member {
+        &self.members[idx]
+    }
+
+    /// Iterates over members in ring order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Member> {
+        self.members.iter()
+    }
+
+    /// Index of the *owner* of identifier `k` — the paper's `k̂`: the node
+    /// whose identifier is `k`, or else `successor(k)`.
+    pub fn owner_idx(&self, k: Id) -> usize {
+        let i = self.members.partition_point(|m| m.id < k);
+        if i == self.members.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// Index of `successor(k)`: the first node strictly clockwise after
+    /// identifier `k`.
+    pub fn successor_idx(&self, k: Id) -> usize {
+        let i = self.members.partition_point(|m| m.id <= k);
+        if i == self.members.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// Index of `predecessor(k)`: the last node strictly counter-clockwise
+    /// before identifier `k`.
+    pub fn predecessor_idx(&self, k: Id) -> usize {
+        let i = self.members.partition_point(|m| m.id < k);
+        if i == 0 {
+            self.members.len() - 1
+        } else {
+            i - 1
+        }
+    }
+
+    /// Index of the member with exactly identifier `id`, if present.
+    pub fn index_of(&self, id: Id) -> Option<usize> {
+        self.members.binary_search_by_key(&id, |m| m.id).ok()
+    }
+
+    /// The next member clockwise after the member at `idx`.
+    #[inline]
+    pub fn next_idx(&self, idx: usize) -> usize {
+        (idx + 1) % self.members.len()
+    }
+
+    /// The previous member counter-clockwise before the member at `idx`.
+    #[inline]
+    pub fn prev_idx(&self, idx: usize) -> usize {
+        (idx + self.members.len() - 1) % self.members.len()
+    }
+
+    /// A new group with `member` added (the receiver is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the identifier is already taken, out of space,
+    /// or the capacity is below 2.
+    pub fn inserted(&self, member: Member) -> Result<MemberSet, BuildMemberSetError> {
+        if !self.space.contains(member.id) {
+            return Err(BuildMemberSetError::IdOutOfSpace(member.id));
+        }
+        if member.capacity < 2 {
+            return Err(BuildMemberSetError::CapacityTooSmall(
+                member.id,
+                member.capacity,
+            ));
+        }
+        match self.members.binary_search_by_key(&member.id, |m| m.id) {
+            Ok(_) => Err(BuildMemberSetError::DuplicateId(member.id)),
+            Err(pos) => {
+                let mut members = self.members.clone();
+                members.insert(pos, member);
+                Ok(MemberSet {
+                    space: self.space,
+                    members,
+                })
+            }
+        }
+    }
+
+    /// A new group with the member at identifier `id` removed, or `None`
+    /// if absent or if removal would empty the group.
+    pub fn removed(&self, id: Id) -> Option<MemberSet> {
+        if self.members.len() <= 1 {
+            return None;
+        }
+        let pos = self.members.binary_search_by_key(&id, |m| m.id).ok()?;
+        let mut members = self.members.clone();
+        members.remove(pos);
+        Some(MemberSet {
+            space: self.space,
+            members,
+        })
+    }
+
+    /// Mean declared capacity of the group.
+    pub fn mean_capacity(&self) -> f64 {
+        self.members.iter().map(|m| m.capacity as f64).sum::<f64>() / self.members.len() as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a MemberSet {
+    type Item = &'a Member;
+    type IntoIter = std::slice::Iter<'a, Member>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_group() -> MemberSet {
+        let space = IdSpace::new(5);
+        let members = [0u64, 4, 8, 13, 18, 21, 26, 29]
+            .iter()
+            .map(|&v| Member::with_capacity(Id(v), 3))
+            .collect();
+        MemberSet::new(space, members).unwrap()
+    }
+
+    #[test]
+    fn sorted_after_shuffled_input() {
+        let space = IdSpace::new(5);
+        let members = [21u64, 0, 29, 4, 26, 8, 18, 13]
+            .iter()
+            .map(|&v| Member::with_capacity(Id(v), 3))
+            .collect();
+        let g = MemberSet::new(space, members).unwrap();
+        let ids: Vec<u64> = g.iter().map(|m| m.id.value()).collect();
+        assert_eq!(ids, vec![0, 4, 8, 13, 18, 21, 26, 29]);
+    }
+
+    #[test]
+    fn construction_errors() {
+        let space = IdSpace::new(5);
+        assert_eq!(
+            MemberSet::new(space, vec![]).unwrap_err(),
+            BuildMemberSetError::Empty
+        );
+        let dup = vec![
+            Member::with_capacity(Id(3), 3),
+            Member::with_capacity(Id(3), 4),
+        ];
+        assert_eq!(
+            MemberSet::new(space, dup).unwrap_err(),
+            BuildMemberSetError::DuplicateId(Id(3))
+        );
+        let out = vec![Member::with_capacity(Id(99), 3)];
+        assert_eq!(
+            MemberSet::new(space, out).unwrap_err(),
+            BuildMemberSetError::IdOutOfSpace(Id(99))
+        );
+        let tiny = vec![Member::with_capacity(Id(1), 1)];
+        assert_eq!(
+            MemberSet::new(space, tiny).unwrap_err(),
+            BuildMemberSetError::CapacityTooSmall(Id(1), 1)
+        );
+    }
+
+    #[test]
+    fn owner_successor_predecessor() {
+        let g = fig2_group();
+        // Owner includes the identifier itself.
+        assert_eq!(g.member(g.owner_idx(Id(13))).id, Id(13));
+        assert_eq!(g.member(g.owner_idx(Id(14))).id, Id(18));
+        assert_eq!(g.member(g.owner_idx(Id(30))).id, Id(0), "wraps");
+        assert_eq!(g.member(g.owner_idx(Id(0))).id, Id(0));
+        // Successor is strictly after.
+        assert_eq!(g.member(g.successor_idx(Id(13))).id, Id(18));
+        assert_eq!(g.member(g.successor_idx(Id(29))).id, Id(0), "wraps");
+        assert_eq!(g.member(g.successor_idx(Id(31))).id, Id(0));
+        // Predecessor is strictly before.
+        assert_eq!(g.member(g.predecessor_idx(Id(13))).id, Id(8));
+        assert_eq!(g.member(g.predecessor_idx(Id(0))).id, Id(29), "wraps");
+        assert_eq!(g.member(g.predecessor_idx(Id(14))).id, Id(13));
+    }
+
+    #[test]
+    fn paper_fig2_hat_resolution() {
+        // Section 3.1: x = 0, c_x = 3. x_{0,1}=1, x_{0,2}=2, x_{1,1}=3 all
+        // resolve to node 4; x_{1,2}=6 → 8; x_{2,1}=9 → 13; x_{2,2}=18 → 18;
+        // x_{3,1}=27 → 29.
+        let g = fig2_group();
+        for (ident, owner) in [(1u64, 4u64), (2, 4), (3, 4), (6, 8), (9, 13), (18, 18), (27, 29)]
+        {
+            assert_eq!(
+                g.member(g.owner_idx(Id(ident))).id,
+                Id(owner),
+                "x̂ of {ident}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbors_in_ring_order() {
+        let g = fig2_group();
+        assert_eq!(g.next_idx(7), 0);
+        assert_eq!(g.prev_idx(0), 7);
+        assert_eq!(g.index_of(Id(21)), Some(5));
+        assert_eq!(g.index_of(Id(22)), None);
+        assert!((g.mean_capacity() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_insert_remove() {
+        let g = fig2_group();
+        let added = g.inserted(Member::with_capacity(Id(15), 5)).unwrap();
+        assert_eq!(added.len(), 9);
+        assert_eq!(added.member(added.owner_idx(Id(14))).id, Id(15));
+        assert_eq!(g.len(), 8, "original untouched");
+        // Duplicate rejected.
+        assert!(matches!(
+            added.inserted(Member::with_capacity(Id(15), 5)),
+            Err(BuildMemberSetError::DuplicateId(_))
+        ));
+        // Removal restores the owner mapping.
+        let removed = added.removed(Id(15)).unwrap();
+        assert_eq!(removed.member(removed.owner_idx(Id(14))).id, Id(18));
+        assert!(removed.removed(Id(999)).is_none(), "absent id");
+        // Cannot empty a group.
+        let single =
+            MemberSet::new(IdSpace::new(5), vec![Member::with_capacity(Id(3), 4)]).unwrap();
+        assert!(single.removed(Id(3)).is_none());
+    }
+
+    #[test]
+    fn single_member_group() {
+        let space = IdSpace::new(5);
+        let g = MemberSet::new(space, vec![Member::with_capacity(Id(7), 4)]).unwrap();
+        assert_eq!(g.owner_idx(Id(0)), 0);
+        assert_eq!(g.successor_idx(Id(7)), 0);
+        assert_eq!(g.predecessor_idx(Id(7)), 0);
+        assert_eq!(g.next_idx(0), 0);
+    }
+}

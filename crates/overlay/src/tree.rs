@@ -1,0 +1,388 @@
+//! Implicit multicast trees and their statistics.
+//!
+//! No overlay in this workspace builds an explicit tree data structure at
+//! protocol level — the tree *emerges* from the recursive multicast
+//! routines. [`MulticastTree`] is the record of one dissemination run: who
+//! delivered to whom, at what hop distance. The experiment harness reads
+//! throughput (bottleneck fan-out) and latency (path-length distribution)
+//! off this record.
+
+use std::fmt;
+
+use crate::MemberSet;
+
+/// The implicit dissemination tree of one multicast, over member indices.
+#[derive(Debug, Clone)]
+pub struct MulticastTree {
+    source: usize,
+    parent: Vec<Option<usize>>,
+    hops: Vec<Option<u32>>,
+    children: Vec<Vec<usize>>,
+    delivered: usize,
+}
+
+impl MulticastTree {
+    /// Starts a tree for a group of `n` members rooted at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= n` or `n == 0`.
+    pub fn new(n: usize, source: usize) -> Self {
+        assert!(n > 0, "empty group");
+        assert!(source < n, "source out of range");
+        let mut hops = vec![None; n];
+        hops[source] = Some(0);
+        MulticastTree {
+            source,
+            parent: vec![None; n],
+            hops,
+            children: vec![Vec::new(); n],
+            delivered: 1,
+        }
+    }
+
+    /// Records that `parent` forwarded the message to `child`.
+    ///
+    /// Returns `false` (and records nothing) if `child` already received the
+    /// message — callers that must guarantee exactly-once semantics (the
+    /// CAM-Chord region partition) should treat `false` as a protocol error,
+    /// while flooding protocols (CAM-Koorde) use it as duplicate
+    /// suppression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` has not itself received the message, if indices
+    /// are out of range, or on a self-loop.
+    pub fn deliver(&mut self, parent: usize, child: usize) -> bool {
+        assert_ne!(parent, child, "self-loop delivery");
+        let parent_hops = self.hops[parent].expect("parent has not received the message");
+        if self.hops[child].is_some() {
+            return false;
+        }
+        self.hops[child] = Some(parent_hops + 1);
+        self.parent[child] = Some(parent);
+        self.children[parent].push(child);
+        self.delivered += 1;
+        true
+    }
+
+    /// The root of the tree.
+    #[inline]
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Group size (delivered or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the group is empty (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// How many members received the message (including the source).
+    #[inline]
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Whether every member received the message.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.delivered == self.parent.len()
+    }
+
+    /// Hop distance from the source to `member`, if it was reached.
+    #[inline]
+    pub fn hops_to(&self, member: usize) -> Option<u32> {
+        self.hops[member]
+    }
+
+    /// The member that delivered to `member` (`None` for the source and for
+    /// unreached members).
+    #[inline]
+    pub fn parent_of(&self, member: usize) -> Option<usize> {
+        self.parent[member]
+    }
+
+    /// Direct children of `member` in the tree.
+    #[inline]
+    pub fn children_of(&self, member: usize) -> &[usize] {
+        &self.children[member]
+    }
+
+    /// Number of direct children (the member's multicast out-degree).
+    #[inline]
+    pub fn fanout(&self, member: usize) -> usize {
+        self.children[member].len()
+    }
+
+    /// Children lists for the whole group — the input shape expected by
+    /// `cam_sim::bandwidth::simulate_stream`.
+    pub fn children_vec(&self) -> Vec<Vec<usize>> {
+        self.children.clone()
+    }
+
+    /// Computes summary statistics of the tree.
+    pub fn stats(&self) -> TreeStats {
+        let mut hist: Vec<u64> = Vec::new();
+        let mut total_hops = 0u64;
+        let mut max_depth = 0u32;
+        for h in self.hops.iter().flatten() {
+            let h = *h;
+            if hist.len() <= h as usize {
+                hist.resize(h as usize + 1, 0);
+            }
+            hist[h as usize] += 1;
+            total_hops += u64::from(h);
+            max_depth = max_depth.max(h);
+        }
+        let internal: Vec<usize> = (0..self.len()).filter(|&m| self.fanout(m) > 0).collect();
+        let total_children: usize = internal.iter().map(|&m| self.fanout(m)).sum();
+        TreeStats {
+            delivered: self.delivered,
+            group_size: self.len(),
+            depth: max_depth,
+            // Average over receivers (source's 0 excluded from numerator and
+            // denominator — the paper measures source-to-member paths).
+            avg_path_len: if self.delivered > 1 {
+                total_hops as f64 / (self.delivered - 1) as f64
+            } else {
+                0.0
+            },
+            path_len_histogram: hist,
+            internal_nodes: internal.len(),
+            avg_children_per_internal: if internal.is_empty() {
+                0.0
+            } else {
+                total_children as f64 / internal.len() as f64
+            },
+            max_fanout: (0..self.len()).map(|m| self.fanout(m)).max().unwrap_or(0),
+        }
+    }
+
+    /// The sustainable multicast throughput of this tree under the paper's
+    /// model: `min` over internal nodes of `B_x / d_x` (kbps).
+    ///
+    /// Returns `f64::INFINITY` for a single-member tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` has a different size than the tree.
+    pub fn bottleneck_throughput_kbps(&self, group: &MemberSet) -> f64 {
+        assert_eq!(group.len(), self.len(), "group/tree size mismatch");
+        let mut min = f64::INFINITY;
+        for m in 0..self.len() {
+            let d = self.fanout(m);
+            if d > 0 {
+                min = min.min(group.member(m).upload_kbps / d as f64);
+            }
+        }
+        min
+    }
+
+    /// Verifies structural invariants; returns a description of the first
+    /// violation, if any. Intended for tests and debug assertions.
+    pub fn check_invariants(&self, group: &MemberSet) -> Result<(), String> {
+        if group.len() != self.len() {
+            return Err("group/tree size mismatch".into());
+        }
+        for m in 0..self.len() {
+            match (self.hops[m], self.parent[m]) {
+                (Some(0), None) if m == self.source => {}
+                (Some(0), _) => return Err(format!("non-source member {m} at hop 0")),
+                (Some(h), Some(p)) => {
+                    let ph = self.hops[p].ok_or_else(|| format!("parent {p} unreached"))?;
+                    if ph + 1 != h {
+                        return Err(format!("hop mismatch at {m}: {h} != {ph}+1"));
+                    }
+                    if !self.children[p].contains(&m) {
+                        return Err(format!("child link missing {p}→{m}"));
+                    }
+                }
+                (Some(_), None) => return Err(format!("reached member {m} has no parent")),
+                (None, Some(_)) => return Err(format!("unreached member {m} has a parent")),
+                (None, None) => {}
+            }
+            let d = self.fanout(m);
+            let c = group.member(m).capacity as usize;
+            if d > c {
+                return Err(format!(
+                    "member {m} exceeds capacity: {d} children > c={c}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics of a [`MulticastTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Members that received the message (including the source).
+    pub delivered: usize,
+    /// Total group size.
+    pub group_size: usize,
+    /// Maximum hop distance from the source.
+    pub depth: u32,
+    /// Mean hop distance over all receivers (source excluded).
+    pub avg_path_len: f64,
+    /// `path_len_histogram[h]` = number of members at hop distance `h`
+    /// (the paper's Figures 9 and 10).
+    pub path_len_histogram: Vec<u64>,
+    /// Number of non-leaf members.
+    pub internal_nodes: usize,
+    /// Mean number of children per non-leaf member (the paper's Figure 6
+    /// x-axis).
+    pub avg_children_per_internal: f64,
+    /// Largest fan-out in the tree.
+    pub max_fanout: usize,
+}
+
+impl fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delivered {}/{} depth {} avg-path {:.2} avg-children {:.2}",
+            self.delivered, self.group_size, self.depth, self.avg_path_len,
+            self.avg_children_per_internal
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Member;
+    use cam_ring::{Id, IdSpace};
+
+    fn group(n: usize) -> MemberSet {
+        let space = IdSpace::new(10);
+        MemberSet::new(
+            space,
+            (0..n)
+                .map(|i| Member::with_capacity(Id(i as u64 * 7 + 1), 3))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_stats() {
+        // 0 → {1, 2}; 1 → {3}
+        let mut t = MulticastTree::new(4, 0);
+        assert!(t.deliver(0, 1));
+        assert!(t.deliver(0, 2));
+        assert!(t.deliver(1, 3));
+        assert!(t.is_complete());
+        let s = t.stats();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.path_len_histogram, vec![1, 2, 1]);
+        assert!((s.avg_path_len - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.internal_nodes, 2);
+        assert!((s.avg_children_per_internal - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_fanout, 2);
+        assert_eq!(t.fanout(0), 2);
+        assert_eq!(t.parent_of(3), Some(1));
+        assert_eq!(t.hops_to(3), Some(2));
+        assert_eq!(t.children_of(0), &[1, 2]);
+        t.check_invariants(&group(4)).unwrap();
+    }
+
+    #[test]
+    fn duplicate_delivery_suppressed() {
+        let mut t = MulticastTree::new(3, 0);
+        assert!(t.deliver(0, 1));
+        assert!(!t.deliver(0, 1), "second delivery reports duplicate");
+        assert!(!t.deliver(1, 0), "source counts as already-received");
+        assert_eq!(t.delivered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent has not received")]
+    fn orphan_parent_rejected() {
+        let mut t = MulticastTree::new(3, 0);
+        t.deliver(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut t = MulticastTree::new(3, 0);
+        t.deliver(0, 0);
+    }
+
+    #[test]
+    fn bottleneck_throughput() {
+        let space = IdSpace::new(10);
+        let members = vec![
+            Member {
+                id: Id(1),
+                capacity: 2,
+                upload_kbps: 1000.0,
+            },
+            Member {
+                id: Id(2),
+                capacity: 2,
+                upload_kbps: 400.0,
+            },
+            Member {
+                id: Id(3),
+                capacity: 2,
+                upload_kbps: 900.0,
+            },
+            Member {
+                id: Id(4),
+                capacity: 2,
+                upload_kbps: 800.0,
+            },
+        ];
+        let g = MemberSet::new(space, members).unwrap();
+        let mut t = MulticastTree::new(4, 0);
+        t.deliver(0, 1); // node id=1 (idx 0) sends to idx 1
+        t.deliver(0, 2);
+        t.deliver(1, 3); // idx1 (B=400) has 1 child → 400
+        // idx0: 1000/2 = 500; idx1: 400/1 = 400 → bottleneck 400.
+        assert_eq!(t.bottleneck_throughput_kbps(&g), 400.0);
+        t.check_invariants(&g).unwrap();
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let g = group(5);
+        let mut t = MulticastTree::new(5, 0);
+        for c in 1..5 {
+            t.deliver(0, c); // 4 children but capacity is 3
+        }
+        let err = t.check_invariants(&g).unwrap_err();
+        assert!(err.contains("exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_tree_reported() {
+        let t = MulticastTree::new(5, 2);
+        assert!(!t.is_complete());
+        assert_eq!(t.delivered(), 1);
+        let s = t.stats();
+        assert_eq!(s.avg_path_len, 0.0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.internal_nodes, 0);
+        assert_eq!(s.avg_children_per_internal, 0.0);
+    }
+
+    #[test]
+    fn single_member_tree() {
+        let t = MulticastTree::new(1, 0);
+        assert!(t.is_complete());
+        let g = MemberSet::new(
+            IdSpace::new(5),
+            vec![Member::with_capacity(Id(3), 2)],
+        )
+        .unwrap();
+        assert_eq!(t.bottleneck_throughput_kbps(&g), f64::INFINITY);
+    }
+}

@@ -1,0 +1,213 @@
+//! Integer base-`c` logarithms and saturating powers.
+//!
+//! CAM-Chord's neighbor table and routing are defined in terms of
+//! `i = ⌊log(k − x) / log c⌋` and `j = ⌊(k − x) / c^i⌋` (paper equations (1)
+//! and (2)). Computing these with floating point is unreliable near powers
+//! of `c`, so everything here is exact integer arithmetic.
+
+/// `⌊log_base(value)⌋` for `value ≥ 1`, `base ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `value == 0` or `base < 2`.
+///
+/// # Example
+///
+/// ```
+/// use cam_ring::math::floor_log;
+/// assert_eq!(floor_log(31, 3), 3); // 3^3 = 27 ≤ 31 < 81
+/// assert_eq!(floor_log(27, 3), 3);
+/// assert_eq!(floor_log(26, 3), 2);
+/// assert_eq!(floor_log(1, 7), 0);
+/// ```
+pub fn floor_log(value: u64, base: u64) -> u32 {
+    assert!(value >= 1, "floor_log of zero");
+    assert!(base >= 2, "floor_log base must be >= 2");
+    let mut exp = 0u32;
+    let mut acc = 1u64;
+    // Invariant: acc == base^exp <= value.
+    loop {
+        match acc.checked_mul(base) {
+            Some(next) if next <= value => {
+                acc = next;
+                exp += 1;
+            }
+            _ => return exp,
+        }
+    }
+}
+
+/// `base^exp`, saturating at `u64::MAX` instead of overflowing.
+///
+/// Useful for level spacings `c^i` where high levels may exceed the
+/// identifier space; saturation keeps comparisons (`dist < c^i`) correct.
+///
+/// # Example
+///
+/// ```
+/// use cam_ring::math::pow_saturating;
+/// assert_eq!(pow_saturating(3, 4), 81);
+/// assert_eq!(pow_saturating(2, 64), u64::MAX);
+/// assert_eq!(pow_saturating(10, 0), 1);
+/// ```
+pub fn pow_saturating(base: u64, exp: u32) -> u64 {
+    let mut acc: u64 = 1;
+    for _ in 0..exp {
+        acc = match acc.checked_mul(base) {
+            Some(v) => v,
+            None => return u64::MAX,
+        };
+    }
+    acc
+}
+
+/// Smallest `L` such that `base^L >= target` (for `target >= 1`,
+/// `base >= 2`). This is the number of neighbor *levels* a CAM-Chord node
+/// with capacity `base` needs to cover an identifier space of size
+/// `target`: `L = ⌈log_base(target)⌉`.
+///
+/// # Panics
+///
+/// Panics if `target == 0` or `base < 2`.
+///
+/// # Example
+///
+/// ```
+/// use cam_ring::math::ceil_log;
+/// assert_eq!(ceil_log(32, 2), 5);
+/// assert_eq!(ceil_log(32, 3), 4); // 3^3 = 27 < 32 ≤ 81 = 3^4
+/// assert_eq!(ceil_log(27, 3), 3);
+/// assert_eq!(ceil_log(1, 3), 0);
+/// ```
+pub fn ceil_log(target: u64, base: u64) -> u32 {
+    assert!(target >= 1, "ceil_log of zero");
+    assert!(base >= 2, "ceil_log base must be >= 2");
+    let mut exp = 0u32;
+    let mut acc = 1u64;
+    while acc < target {
+        acc = acc.saturating_mul(base);
+        exp += 1;
+    }
+    exp
+}
+
+/// The CAM-Chord *level* `i` and *sequence number* `j` of a clockwise
+/// distance `dist = (k − x) mod N` with respect to capacity `c` (paper
+/// equations (1) and (2)):
+///
+/// * `i = ⌊log(dist) / log c⌋`
+/// * `j = ⌊dist / c^i⌋`
+///
+/// Hence `1 <= j <= c - 1` whenever `dist >= 1` — except that `j == c` can
+/// not occur because then `i` would have been larger. For `dist == 0` there
+/// is no level; callers must handle the empty segment first.
+///
+/// # Panics
+///
+/// Panics if `dist == 0` or `c < 2`.
+///
+/// # Example
+///
+/// ```
+/// use cam_ring::math::level_and_seq;
+/// // Paper, Section 3.2 example: identifier x+25 w.r.t. x with c = 3
+/// assert_eq!(level_and_seq(25, 3), (2, 2));
+/// // Paper, Section 3.4 example: x−1 (= x+31 on a 32-ring) has level 3, seq 1
+/// assert_eq!(level_and_seq(31, 3), (3, 1));
+/// ```
+pub fn level_and_seq(dist: u64, c: u64) -> (u32, u64) {
+    assert!(dist >= 1, "level_and_seq of empty segment");
+    assert!(c >= 2, "capacity must be >= 2");
+    let i = floor_log(dist, c);
+    let j = dist / pow_saturating(c, i);
+    debug_assert!((1..c).contains(&j));
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_log_edges() {
+        assert_eq!(floor_log(1, 2), 0);
+        assert_eq!(floor_log(2, 2), 1);
+        assert_eq!(floor_log(3, 2), 1);
+        assert_eq!(floor_log(4, 2), 2);
+        assert_eq!(floor_log(u64::MAX, 2), 63);
+        assert_eq!(floor_log(u64::MAX, 3), 40);
+    }
+
+    #[test]
+    fn floor_log_exact_powers() {
+        for base in 2u64..=12 {
+            for exp in 0u32..12 {
+                let v = pow_saturating(base, exp);
+                assert_eq!(floor_log(v, base), exp, "base={base} exp={exp}");
+                if v > 1 {
+                    assert_eq!(floor_log(v - 1, base), exp - 1);
+                }
+                if v + 1 < pow_saturating(base, exp + 1) {
+                    assert_eq!(floor_log(v + 1, base), exp, "just above a power");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "floor_log of zero")]
+    fn floor_log_zero_panics() {
+        floor_log(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be >= 2")]
+    fn floor_log_base_one_panics() {
+        floor_log(5, 1);
+    }
+
+    #[test]
+    fn pow_saturates() {
+        assert_eq!(pow_saturating(2, 63), 1 << 63);
+        assert_eq!(pow_saturating(2, 64), u64::MAX);
+        assert_eq!(pow_saturating(u64::MAX, 1), u64::MAX);
+        assert_eq!(pow_saturating(u64::MAX, 2), u64::MAX);
+        assert_eq!(pow_saturating(1, 1000), 1);
+        assert_eq!(pow_saturating(0, 3), 0);
+        assert_eq!(pow_saturating(0, 0), 1);
+    }
+
+    #[test]
+    fn ceil_log_vs_floor_log() {
+        for base in 2u64..=11 {
+            for target in 1u64..1000 {
+                let l = ceil_log(target, base);
+                assert!(pow_saturating(base, l) >= target);
+                if l > 0 {
+                    assert!(pow_saturating(base, l - 1) < target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_seq_ranges() {
+        for c in 2u64..=10 {
+            for dist in 1u64..2000 {
+                let (i, j) = level_and_seq(dist, c);
+                let ci = pow_saturating(c, i);
+                assert!(ci <= dist, "c^i <= dist");
+                assert!(j >= 1 && j < c, "j in [1, c): c={c} dist={dist} j={j}");
+                assert!(j * ci <= dist && dist < (j + 1) * ci);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_lookup_example_levels() {
+        // Section 3.2: from x, identifier x+25 with c=3 → level 2, seq 2.
+        assert_eq!(level_and_seq(25, 3), (2, 2));
+        // Forwarded to node x+18; from x+18 (also c=3), k−x = 7 → level 1, seq 2.
+        assert_eq!(level_and_seq(7, 3), (1, 2));
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's clockwise half-open segment `(from, to]`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Id, IdSpace};
+
+/// A clockwise segment `(from, to]` of the identifier ring.
+///
+/// Following the paper (Section 2), the segment starts at `from + 1`, moves
+/// clockwise, and ends at (and includes) `to`. `Segment { from: x, to: x }`
+/// is the empty segment; a segment can hold at most `N - 1` identifiers, so
+/// the full ring is *not* representable (the multicast routines use
+/// `(x, x - 1]`, the whole ring minus the source, which is exactly the
+/// paper's `x.MULTICAST(msg, x − 1)` initial call).
+///
+/// # Example
+///
+/// ```
+/// use cam_ring::{Id, IdSpace, Segment};
+///
+/// let s = IdSpace::new(5);
+/// let seg = Segment::new(Id(29), Id(2));
+/// assert_eq!(seg.len(s), 5); // {30, 31, 0, 1, 2}
+/// assert!(seg.contains(s, Id(0)));
+/// assert!(!seg.contains(s, Id(29)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// Exclusive clockwise start.
+    pub from: Id,
+    /// Inclusive clockwise end.
+    pub to: Id,
+}
+
+impl Segment {
+    /// Creates the segment `(from, to]`.
+    #[inline]
+    pub fn new(from: Id, to: Id) -> Self {
+        Segment { from, to }
+    }
+
+    /// The empty segment anchored at `at` (i.e. `(at, at]`).
+    #[inline]
+    pub fn empty(at: Id) -> Self {
+        Segment { from: at, to: at }
+    }
+
+    /// The segment covering the whole ring except `source`:
+    /// `(source, source − 1]`. This is the region a multicast source is
+    /// responsible for disseminating to.
+    #[inline]
+    pub fn all_but(space: IdSpace, source: Id) -> Self {
+        Segment {
+            from: source,
+            to: space.sub(source, 1),
+        }
+    }
+
+    /// Number of identifiers in the segment.
+    #[inline]
+    pub fn len(self, space: IdSpace) -> u64 {
+        space.seg_len(self.from, self.to)
+    }
+
+    /// Whether the segment is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.from == self.to
+    }
+
+    /// Whether `id` lies in the segment.
+    #[inline]
+    pub fn contains(self, space: IdSpace, id: Id) -> bool {
+        space.in_segment(id, self.from, self.to)
+    }
+
+    /// Restricts the segment to end no later than `new_to`, which must be an
+    /// identifier inside the segment (or equal to `from`, yielding empty).
+    ///
+    /// Returns `(from, new_to]`.
+    #[inline]
+    pub fn truncated(self, new_to: Id) -> Self {
+        Segment {
+            from: self.from,
+            to: new_to,
+        }
+    }
+
+    /// Iterates over the identifiers of the segment in clockwise order.
+    ///
+    /// Intended for tests and tiny rings; the iterator yields `len` items.
+    pub fn iter(self, space: IdSpace) -> Iter {
+        Iter {
+            space,
+            next: space.add(self.from, 1),
+            remaining: self.len(space),
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}]", self.from, self.to)
+    }
+}
+
+/// Iterator over the identifiers of a [`Segment`], produced by
+/// [`Segment::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    space: IdSpace,
+    next: Id,
+    remaining: u64,
+}
+
+impl Iterator for Iter {
+    type Item = Id;
+
+    fn next(&mut self) -> Option<Id> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let id = self.next;
+        self.next = self.space.add(self.next, 1);
+        self.remaining -= 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: IdSpace = IdSpace::PAPER;
+
+    #[test]
+    fn empty_segment() {
+        let s = IdSpace::new(5);
+        let seg = Segment::empty(Id(7));
+        assert!(seg.is_empty());
+        assert_eq!(seg.len(s), 0);
+        assert_eq!(seg.iter(s).count(), 0);
+        assert!(!seg.contains(s, Id(7)));
+        assert!(!seg.contains(s, Id(8)));
+    }
+
+    #[test]
+    fn all_but_source() {
+        let s = IdSpace::new(5);
+        let seg = Segment::all_but(s, Id(0));
+        assert_eq!(seg.len(s), 31);
+        assert!(!seg.contains(s, Id(0)));
+        assert!(seg.contains(s, Id(31)));
+        assert!(seg.contains(s, Id(1)));
+    }
+
+    #[test]
+    fn iter_wraps() {
+        let s = IdSpace::new(5);
+        let seg = Segment::new(Id(29), Id(2));
+        let ids: Vec<u64> = seg.iter(s).map(Id::value).collect();
+        assert_eq!(ids, vec![30, 31, 0, 1, 2]);
+        assert_eq!(seg.iter(s).len(), 5);
+    }
+
+    #[test]
+    fn truncation() {
+        let seg = Segment::new(Id(10), Id(100)).truncated(Id(50));
+        assert_eq!(seg, Segment::new(Id(10), Id(50)));
+        assert_eq!(seg.len(S), 40);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Segment::new(Id(3), Id(9)).to_string(), "(3, 9]");
+    }
+}

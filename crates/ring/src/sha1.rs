@@ -1,0 +1,215 @@
+//! A from-scratch SHA-1 implementation (FIPS 180-1).
+//!
+//! The paper maps member hosts onto the identifier ring with SHA-1. No
+//! external hashing crate is in this workspace's dependency budget, so the
+//! digest is implemented here and validated against the FIPS/RFC 3174 test
+//! vectors.
+//!
+//! SHA-1 is used purely to *spread identifiers uniformly on the ring* — a
+//! non-adversarial setting where its known collision weaknesses are
+//! irrelevant.
+//!
+//! # Example
+//!
+//! ```
+//! use cam_ring::sha1::Sha1;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(
+//!     Sha1::to_hex(&digest),
+//!     "a9993e364706816aba3e25717850c26c9cd0d89d"
+//! );
+//! ```
+
+/// Streaming SHA-1 hasher.
+///
+/// Feed data with [`Sha1::update`] and finish with [`Sha1::finalize`], or use
+/// the one-shot [`Sha1::digest`].
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        // Fill a partially full buffer first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit length.
+        self.update(&[0x80]);
+        // `update` adjusted self.len, but padding doesn't count; we already
+        // captured bit_len, so further bookkeeping of len is irrelevant.
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Lowercase hex rendering of a digest.
+    pub fn to_hex(digest: &[u8; 20]) -> String {
+        let mut s = String::with_capacity(40);
+        for b in digest {
+            use std::fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        Sha1::to_hex(&Sha1::digest(data))
+    }
+
+    #[test]
+    fn rfc3174_vectors() {
+        assert_eq!(hex(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&[b'a'; 1_000_000]),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Message lengths around the 55/56/64-byte padding boundaries must
+        // round-trip without panicking and give stable results.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129] {
+            let data = vec![0xabu8; len];
+            let one_shot = Sha1::digest(&data);
+            // Same digest when streamed byte-by-byte.
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), one_shot, "len={len}");
+        }
+    }
+
+    #[test]
+    fn streaming_split_points() {
+        let data: Vec<u8> = (0u16..300).map(|v| (v % 251) as u8).collect();
+        let expect = Sha1::digest(&data);
+        for split in [0usize, 1, 63, 64, 65, 100, 299, 300] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split={split}");
+        }
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            hex(b"The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+}

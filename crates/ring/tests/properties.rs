@@ -1,0 +1,136 @@
+//! Property-based tests for ring arithmetic and segments.
+
+use cam_ring::math::{ceil_log, floor_log, level_and_seq, pow_saturating};
+use cam_ring::{Id, IdSpace, Segment};
+use proptest::prelude::*;
+
+fn space_and_ids() -> impl Strategy<Value = (IdSpace, u64, u64, u64)> {
+    (1u32..=62).prop_flat_map(|bits| {
+        let n = 1u64 << bits;
+        (
+            Just(IdSpace::new(bits)),
+            0..n,
+            0..n,
+            0..n,
+        )
+    })
+}
+
+proptest! {
+    /// add and sub are inverses.
+    #[test]
+    fn add_sub_roundtrip((space, x, d, _) in space_and_ids()) {
+        let id = Id(x);
+        prop_assert_eq!(space.sub(space.add(id, d), d), id);
+        prop_assert_eq!(space.add(space.sub(id, d), d), id);
+    }
+
+    /// seg_len(x, y) + seg_len(y, x) == N whenever x != y.
+    #[test]
+    fn seg_len_complement((space, x, y, _) in space_and_ids()) {
+        let (x, y) = (Id(x), Id(y));
+        if x == y {
+            prop_assert_eq!(space.seg_len(x, y), 0);
+        } else {
+            prop_assert_eq!(space.seg_len(x, y) + space.seg_len(y, x), space.size());
+        }
+    }
+
+    /// Distance is symmetric and at most N/2.
+    #[test]
+    fn distance_symmetric_bounded((space, x, y, _) in space_and_ids()) {
+        let (x, y) = (Id(x), Id(y));
+        prop_assert_eq!(space.distance(x, y), space.distance(y, x));
+        prop_assert!(space.distance(x, y) <= space.size() / 2);
+    }
+
+    /// Every identifier is in exactly one of (x, y] and (y, x] when x != y,
+    /// except the endpoints which belong to their respective segments.
+    #[test]
+    fn segments_partition((space, x, y, z) in space_and_ids()) {
+        let (x, y, z) = (Id(x), Id(y), Id(z));
+        prop_assume!(x != y);
+        let in_xy = space.in_segment(z, x, y);
+        let in_yx = space.in_segment(z, y, x);
+        // z is in exactly one segment, unless it equals one of the endpoints,
+        // in which case it is in the segment that *ends* at it.
+        prop_assert!(in_xy ^ in_yx || z == x || z == y);
+        if z == y {
+            prop_assert!(in_xy && !in_yx);
+        }
+        if z == x {
+            prop_assert!(in_yx && !in_xy);
+        }
+    }
+
+    /// Splitting (x, k] at an interior cut m yields two disjoint segments
+    /// covering it: (x, m] ∪ (m, k].
+    #[test]
+    fn segment_split((space, x, k, m) in space_and_ids()) {
+        let (x, k, m) = (Id(x), Id(k), Id(m));
+        prop_assume!(space.in_segment(m, x, k));
+        let whole = Segment::new(x, k);
+        let left = Segment::new(x, m);
+        let right = Segment::new(m, k);
+        prop_assert_eq!(left.len(space) + right.len(space), whole.len(space));
+        // Membership agrees (checked against a sampled id).
+        let probe = Id(space.add(x, whole.len(space) / 2).value());
+        let in_whole = whole.contains(space, probe);
+        let in_parts = left.contains(space, probe) || right.contains(space, probe);
+        prop_assert_eq!(in_whole, in_parts);
+    }
+
+    /// floor_log/ceil_log/pow are mutually consistent.
+    #[test]
+    fn log_pow_consistent(value in 1u64..u64::MAX, base in 2u64..64) {
+        let f = floor_log(value, base);
+        prop_assert!(pow_saturating(base, f) <= value);
+        prop_assert!(pow_saturating(base, f + 1) > value);
+        let c = ceil_log(value, base);
+        prop_assert!(pow_saturating(base, c) >= value);
+        prop_assert!(c == 0 || pow_saturating(base, c - 1) < value);
+    }
+
+    /// level_and_seq recovers dist within one c^i stride.
+    #[test]
+    fn level_seq_recovers(dist in 1u64..u64::MAX / 2, c in 2u64..200) {
+        let (i, j) = level_and_seq(dist, c);
+        let ci = pow_saturating(c, i);
+        prop_assert!(j >= 1 && j < c);
+        prop_assert!(j * ci <= dist);
+        prop_assert!(dist - j * ci < ci);
+    }
+
+    /// Segment iteration matches membership on small rings.
+    #[test]
+    fn iter_matches_contains(bits in 1u32..=8, x in 0u64..256, k in 0u64..256) {
+        let space = IdSpace::new(bits);
+        let x = space.reduce(x);
+        let k = space.reduce(k);
+        let seg = Segment::new(x, k);
+        let members: Vec<Id> = seg.iter(space).collect();
+        prop_assert_eq!(members.len() as u64, seg.len(space));
+        for v in 0..space.size() {
+            let id = Id(v);
+            prop_assert_eq!(members.contains(&id), seg.contains(space, id));
+        }
+    }
+}
+
+#[test]
+fn hash_spread_is_roughly_uniform() {
+    // 4096 hashed ids over a 2^19 ring should occupy distinct positions and
+    // cover all four quadrants — a sanity check, not a statistical test.
+    let space = IdSpace::PAPER;
+    let mut quadrant = [0usize; 4];
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..4096u32 {
+        let id = space.hash_to_id(format!("member-{i}").as_bytes());
+        seen.insert(id);
+        quadrant[(id.value() * 4 / space.size()) as usize] += 1;
+    }
+    assert!(seen.len() > 4000, "almost no collisions expected");
+    for (q, &count) in quadrant.iter().enumerate() {
+        assert!(count > 512, "quadrant {q} suspiciously empty: {count}");
+    }
+}

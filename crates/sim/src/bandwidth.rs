@@ -1,0 +1,301 @@
+//! Packet-level streaming over a multicast tree.
+//!
+//! The paper defines sustainable multicast throughput as the rate set by
+//! "the link with the least allocated bandwidth in the multicast tree": a
+//! node with upload bandwidth `B_x` and `d_x` children must send every
+//! packet `d_x` times, so it can sustain at most `B_x / d_x`. The
+//! experiment harness uses that analytic model
+//! ([`analytic_throughput_kbps`]); this module also provides an actual
+//! store-and-forward packet simulation ([`simulate_stream`]) used by tests
+//! to confirm the analytic model is the limit the packet dynamics converge
+//! to.
+//!
+//! # Example
+//!
+//! ```
+//! use cam_sim::bandwidth::{analytic_throughput_kbps, simulate_stream, StreamConfig};
+//!
+//! // root 0 → {1, 2}; node 1 → {3}
+//! let children = vec![vec![1, 2], vec![3], vec![], vec![]];
+//! let upload = vec![1000.0, 400.0, 900.0, 500.0];
+//! // Bottleneck: root sends twice (1000/2 = 500), node 1 once (400/1).
+//! let analytic = analytic_throughput_kbps(&children, &upload);
+//! assert_eq!(analytic, 400.0);
+//!
+//! let report = simulate_stream(&children, 0, &upload, &StreamConfig::default());
+//! assert!((report.delivered_kbps - analytic).abs() / analytic < 0.05);
+//! ```
+
+/// Configuration for [`simulate_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Size of each packet in kilobits.
+    pub packet_kbits: f64,
+    /// Rate at which the source *offers* packets (kbps). Set this above the
+    /// expected bottleneck to measure the sustainable limit.
+    pub offered_kbps: f64,
+    /// Number of packets to stream.
+    pub packets: usize,
+    /// Constant per-hop propagation delay in seconds (does not affect
+    /// steady-state throughput, only completion time).
+    pub propagation_secs: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            packet_kbits: 8.0,
+            offered_kbps: f64::INFINITY,
+            packets: 400,
+            propagation_secs: 0.02,
+        }
+    }
+}
+
+/// Result of a packet-level streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Steady-state delivery rate at the slowest member (kbps), measured
+    /// from packet inter-arrival times at every node.
+    pub delivered_kbps: f64,
+    /// Virtual time at which the last packet reached the last member.
+    pub completion_secs: f64,
+    /// Number of members that received all packets (always every reachable
+    /// member; present for sanity checks).
+    pub receivers: usize,
+}
+
+/// Analytic sustainable throughput of a multicast tree: `min_x B_x / d_x`
+/// over non-leaf nodes `x` (kbps). Returns `f64::INFINITY` for a tree with
+/// no internal nodes (single member).
+///
+/// # Panics
+///
+/// Panics if `children` and `upload_kbps` have different lengths.
+pub fn analytic_throughput_kbps(children: &[Vec<usize>], upload_kbps: &[f64]) -> f64 {
+    assert_eq!(
+        children.len(),
+        upload_kbps.len(),
+        "children/upload length mismatch"
+    );
+    children
+        .iter()
+        .zip(upload_kbps)
+        .filter(|(ch, _)| !ch.is_empty())
+        .map(|(ch, &b)| b / ch.len() as f64)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Streams `config.packets` packets from `root` down the tree with
+/// store-and-forward copying: a node's outgoing link serializes all copies
+/// of all packets at its upload bandwidth. Returns the measured steady-state
+/// throughput (rate of the slowest member).
+///
+/// # Panics
+///
+/// Panics if the arrays disagree in length, `root` is out of range, the
+/// "tree" has a cycle reachable from the root, or fewer than 2 packets are
+/// requested.
+pub fn simulate_stream(
+    children: &[Vec<usize>],
+    root: usize,
+    upload_kbps: &[f64],
+    config: &StreamConfig,
+) -> StreamReport {
+    let n = children.len();
+    assert_eq!(n, upload_kbps.len(), "children/upload length mismatch");
+    assert!(root < n, "root out of range");
+    assert!(config.packets >= 2, "need at least 2 packets to measure rate");
+
+    // BFS order guarantees a node's arrivals are final before its children's
+    // are computed; also detects cycles.
+    let order = bfs_order(children, root, n);
+
+    // arrivals[x][p] = time packet p is fully received at x.
+    let mut arrivals: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let interval = if config.offered_kbps.is_finite() {
+        config.packet_kbits / config.offered_kbps
+    } else {
+        0.0
+    };
+    arrivals[root] = (0..config.packets).map(|p| p as f64 * interval).collect();
+
+    let mut min_rate = f64::INFINITY;
+    let mut completion: f64 = 0.0;
+    let mut receivers = 0usize;
+
+    for &x in &order {
+        let arr = std::mem::take(&mut arrivals[x]);
+        receivers += 1;
+        if arr.len() >= 2 {
+            let span = arr[arr.len() - 1] - arr[0];
+            if span > 0.0 {
+                let rate = (arr.len() - 1) as f64 * config.packet_kbits / span;
+                min_rate = min_rate.min(rate);
+            }
+        }
+        completion = completion.max(*arr.last().expect("packets"));
+
+        if children[x].is_empty() {
+            arrivals[x] = arr;
+            continue;
+        }
+        let copy_time = config.packet_kbits / upload_kbps[x];
+        let mut link_free = 0.0f64;
+        // For each packet, copies go out back-to-back to each child in order.
+        let d = children[x].len();
+        let mut child_arrivals: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(arr.len()); d];
+        for &t in &arr {
+            let start = link_free.max(t);
+            for (ci, out) in child_arrivals.iter_mut().enumerate() {
+                let done = start + (ci + 1) as f64 * copy_time;
+                out.push(done + config.propagation_secs);
+            }
+            link_free = start + d as f64 * copy_time;
+        }
+        for (ci, &c) in children[x].iter().enumerate() {
+            arrivals[c] = std::mem::take(&mut child_arrivals[ci]);
+        }
+        arrivals[x] = arr;
+    }
+
+    StreamReport {
+        delivered_kbps: min_rate,
+        completion_secs: completion,
+        receivers,
+    }
+}
+
+fn bfs_order(children: &[Vec<usize>], root: usize, n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[root] = true;
+    queue.push_back(root);
+    while let Some(x) = queue.pop_front() {
+        order.push(x);
+        for &c in &children[x] {
+            assert!(!seen[c], "cycle or DAG detected at node {c}: not a tree");
+            seen[c] = true;
+            queue.push_back(c);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_examples() {
+        // Chain 0 → 1 → 2: rates 100/1, 50/1.
+        let children = vec![vec![1], vec![2], vec![]];
+        assert_eq!(analytic_throughput_kbps(&children, &[100.0, 50.0, 10.0]), 50.0);
+        // Single node: no internal nodes.
+        assert_eq!(
+            analytic_throughput_kbps(&[vec![]], &[100.0]),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn star_tree_bottleneck_is_root_fanout() {
+        // Root with 5 children, B = 1000 → 200 kbps.
+        let children = vec![vec![1, 2, 3, 4, 5], vec![], vec![], vec![], vec![], vec![]];
+        let upload = vec![1000.0; 6];
+        let analytic = analytic_throughput_kbps(&children, &upload);
+        assert_eq!(analytic, 200.0);
+        let report = simulate_stream(&children, 0, &upload, &StreamConfig::default());
+        assert!(
+            (report.delivered_kbps - analytic).abs() / analytic < 0.05,
+            "measured {} vs analytic {analytic}",
+            report.delivered_kbps
+        );
+        assert_eq!(report.receivers, 6);
+    }
+
+    #[test]
+    fn heterogeneous_tree_matches_analytic() {
+        // 0 → {1,2,3}; 1 → {4,5}; 2 → {6}
+        let children = vec![
+            vec![1, 2, 3],
+            vec![4, 5],
+            vec![6],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        let upload = vec![900.0, 500.0, 420.0, 640.0, 770.0, 410.0, 980.0];
+        let analytic = analytic_throughput_kbps(&children, &upload);
+        assert_eq!(analytic, 250.0); // node 1: 500/2
+        let report = simulate_stream(&children, 0, &upload, &StreamConfig {
+            packets: 800,
+            ..StreamConfig::default()
+        });
+        assert!(
+            (report.delivered_kbps - analytic).abs() / analytic < 0.03,
+            "measured {} vs analytic {analytic}",
+            report.delivered_kbps
+        );
+    }
+
+    #[test]
+    fn offered_rate_below_bottleneck_passes_through() {
+        let children = vec![vec![1], vec![]];
+        let upload = vec![1000.0, 1000.0];
+        let config = StreamConfig {
+            offered_kbps: 64.0,
+            packets: 200,
+            ..StreamConfig::default()
+        };
+        let report = simulate_stream(&children, 0, &upload, &config);
+        assert!(
+            (report.delivered_kbps - 64.0).abs() < 1.0,
+            "source-limited stream should arrive at the offered rate, got {}",
+            report.delivered_kbps
+        );
+    }
+
+    #[test]
+    fn completion_time_monotone_in_depth() {
+        // Extending a chain by one store-and-forward hop strictly delays the
+        // last delivery (extra serialization + propagation).
+        let short = vec![vec![1], vec![]];
+        let long = vec![vec![1], vec![2], vec![]];
+        let cfg = StreamConfig::default();
+        let a = simulate_stream(&short, 0, &[1000.0; 2], &cfg);
+        let b = simulate_stream(&long, 0, &[1000.0; 3], &cfg);
+        assert!(b.completion_secs > a.completion_secs);
+    }
+
+    #[test]
+    fn fanout_serialization_slows_completion() {
+        // A 3-child star serializes three copies of every packet on the
+        // root's uplink, so it finishes later than a 1-child chain of the
+        // same bandwidth even though it is shallower.
+        let star = vec![vec![1, 2, 3], vec![], vec![], vec![]];
+        let chain = vec![vec![1], vec![2], vec![3], vec![]];
+        let cfg = StreamConfig::default();
+        let s = simulate_stream(&star, 0, &[1000.0; 4], &cfg);
+        let c = simulate_stream(&chain, 0, &[1000.0; 4], &cfg);
+        assert!(s.completion_secs > c.completion_secs);
+        // ...and its sustainable throughput is worse by the fanout factor.
+        assert!(s.delivered_kbps < c.delivered_kbps / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn rejects_cycles() {
+        let children = vec![vec![1], vec![0]];
+        simulate_stream(&children, 0, &[10.0, 10.0], &StreamConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        analytic_throughput_kbps(&[vec![]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Virtual time for the discrete-event engine.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation's virtual clock, in microseconds since the
+/// start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the start of the run.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run (lossy, for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        assert!(earlier <= self, "time went backwards");
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Duration of `us` microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// Duration of `ms` milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> Duration {
+        Duration(ms.saturating_mul(1_000))
+    }
+
+    /// Duration of `s` seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> Duration {
+        Duration(s.saturating_mul(1_000_000))
+    }
+
+    /// Duration of `s` fractional seconds, rounded to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Duration {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        Duration((s * 1_000_000.0).round() as u64)
+    }
+
+    /// Microseconds in this duration.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this duration (lossy, for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Scales the duration by an integer factor, saturating.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    /// Saturating subtraction: durations never go negative.
+    #[inline]
+    fn sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_millis(3);
+        assert_eq!(t.micros(), 3_000);
+        assert_eq!(t.since(SimTime::ZERO), Duration::from_millis(3));
+        assert_eq!(
+            Duration::from_secs(1) + Duration::from_micros(5),
+            Duration(1_000_005)
+        );
+        assert_eq!(
+            Duration::from_millis(5) - Duration::from_millis(9),
+            Duration::ZERO,
+            "saturating"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs_f64(0.5).micros(), 500_000);
+        assert!((SimTime(1_500_000).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Duration::from_secs_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn since_panics_backwards() {
+        SimTime(1).since(SimTime(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn bad_float_duration() {
+        Duration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(1_500_000).to_string(), "1.500000s");
+        assert_eq!(Duration::from_millis(20).to_string(), "0.020000s");
+    }
+}

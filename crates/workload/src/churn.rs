@@ -1,0 +1,209 @@
+//! Poisson churn traces for the dynamic-membership experiments.
+
+use cam_overlay::Member;
+use cam_ring::Id;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens at a churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnKind {
+    /// A new member joins.
+    Join(Member),
+    /// An existing member leaves gracefully.
+    Leave(Id),
+    /// An existing member crashes without notice.
+    Crash(Id),
+}
+
+/// One timed event of a churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Virtual time of the event, in microseconds.
+    pub at_micros: u64,
+    /// The membership change.
+    pub kind: ChurnKind,
+}
+
+/// A deterministic churn trace: exponential inter-arrival times, uniform
+/// choice between joins and departures, crash probability among
+/// departures.
+///
+/// # Example
+///
+/// ```
+/// use cam_workload::ChurnTrace;
+/// use cam_overlay::Member;
+/// use cam_ring::{Id, IdSpace};
+///
+/// let initial: Vec<Member> = (0..50u64)
+///     .map(|i| Member::with_capacity(Id(i * 100 + 1), 6))
+///     .collect();
+/// let trace = ChurnTrace::generate(
+///     IdSpace::new(19),
+///     &initial,
+///     /* events */ 40,
+///     /* mean gap */ 200_000.0,
+///     /* crash fraction */ 0.5,
+///     /* seed */ 7,
+/// );
+/// assert_eq!(trace.events.len(), 40);
+/// // Timestamps are non-decreasing.
+/// assert!(trace.events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    /// Events in time order.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnTrace {
+    /// Generates `events` churn events against an initial population.
+    ///
+    /// Joins and departures are equally likely (keeping the expected group
+    /// size stable); `crash_fraction` of departures are crashes. Joining
+    /// members get fresh identifiers and capacities uniform in `[4..10]`
+    /// with the paper's bandwidth range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, `mean_gap_micros <= 0`, or
+    /// `crash_fraction ∉ [0, 1]`.
+    pub fn generate(
+        space: cam_ring::IdSpace,
+        initial: &[Member],
+        events: usize,
+        mean_gap_micros: f64,
+        crash_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!initial.is_empty(), "empty initial population");
+        assert!(mean_gap_micros > 0.0, "non-positive mean gap");
+        assert!(
+            (0.0..=1.0).contains(&crash_fraction),
+            "crash fraction {crash_fraction} out of range"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut present: Vec<Member> = initial.to_vec();
+        let mut taken: std::collections::HashSet<u64> =
+            initial.iter().map(|m| m.id.value()).collect();
+        let mut t = 0u64;
+        let mut out = Vec::with_capacity(events);
+        for _ in 0..events {
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            t += (-mean_gap_micros * u.ln()).max(1.0) as u64;
+            // Keep at least 2 members present.
+            let join = present.len() < 3 || rng.gen_bool(0.5);
+            if join {
+                let id = loop {
+                    let v = rng.gen_range(0..space.size());
+                    if taken.insert(v) {
+                        break Id(v);
+                    }
+                };
+                let upload_kbps = rng.gen_range(400.0..=1000.0);
+                let member = Member {
+                    id,
+                    capacity: rng.gen_range(4..=10),
+                    upload_kbps,
+                };
+                present.push(member);
+                out.push(ChurnEvent {
+                    at_micros: t,
+                    kind: ChurnKind::Join(member),
+                });
+            } else {
+                let idx = rng.gen_range(0..present.len());
+                let victim = present.swap_remove(idx);
+                let kind = if rng.gen_bool(crash_fraction) {
+                    ChurnKind::Crash(victim.id)
+                } else {
+                    ChurnKind::Leave(victim.id)
+                };
+                out.push(ChurnEvent {
+                    at_micros: t,
+                    kind,
+                });
+            }
+        }
+        ChurnTrace { events: out }
+    }
+
+    /// Number of join events.
+    pub fn joins(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, ChurnKind::Join(_)))
+            .count()
+    }
+
+    /// Number of leave + crash events.
+    pub fn departures(&self) -> usize {
+        self.events.len() - self.joins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam_ring::IdSpace;
+
+    fn initial(n: u64) -> Vec<Member> {
+        (0..n)
+            .map(|i| Member::with_capacity(Id(i * 97 + 5), 6))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic() {
+        let space = IdSpace::new(19);
+        let init = initial(100);
+        let a = ChurnTrace::generate(space, &init, 200, 1e5, 0.5, 3);
+        let b = ChurnTrace::generate(space, &init, 200, 1e5, 0.5, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn joins_and_departures_roughly_balanced() {
+        let space = IdSpace::new(19);
+        let trace = ChurnTrace::generate(space, &initial(500), 1000, 1e5, 0.3, 11);
+        let joins = trace.joins();
+        assert!((350..=650).contains(&joins), "joins {joins}");
+        assert_eq!(trace.departures(), 1000 - joins);
+    }
+
+    #[test]
+    fn fresh_ids_never_collide() {
+        let space = IdSpace::new(19);
+        let init = initial(50);
+        let trace = ChurnTrace::generate(space, &init, 500, 1e4, 0.0, 13);
+        let mut seen: std::collections::HashSet<u64> =
+            init.iter().map(|m| m.id.value()).collect();
+        for e in &trace.events {
+            if let ChurnKind::Join(m) = e.kind {
+                assert!(seen.insert(m.id.value()), "duplicate id {}", m.id);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_fraction_extremes() {
+        let space = IdSpace::new(19);
+        let all_crash = ChurnTrace::generate(space, &initial(100), 300, 1e4, 1.0, 5);
+        assert!(all_crash
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, ChurnKind::Leave(_))));
+        let no_crash = ChurnTrace::generate(space, &initial(100), 300, 1e4, 0.0, 5);
+        assert!(no_crash
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, ChurnKind::Crash(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty initial population")]
+    fn empty_initial_rejected() {
+        ChurnTrace::generate(IdSpace::new(10), &[], 10, 1e4, 0.5, 1);
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Workload and scenario generation for the CAM experiments.
+//!
+//! The paper's evaluation (Section 6) fixes an identifier space of `2^19`,
+//! a default group size of 100,000, node capacities uniform in `[4..10]`,
+//! and upload bandwidths uniform in `[400..1000]` kbps, with
+//! `c_x = ⌊B_x/p⌋` tying capacity to bandwidth through the per-link target
+//! `p`. [`Scenario`] captures one such configuration; [`Scenario::members`]
+//! deterministically generates the group for a seed.
+//!
+//! [`churn`] generates Poisson join/leave traces for the dynamic
+//! (resilience) experiments.
+
+pub mod churn;
+pub mod scenario;
+
+pub use churn::{ChurnEvent, ChurnKind, ChurnTrace};
+pub use scenario::{BandwidthDist, CapacityAssignment, Scenario};

@@ -1,0 +1,55 @@
+//! Quickstart: build a capacity-aware multicast group and send a message.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cam::overlay::StaticOverlay;
+use cam::prelude::*;
+
+fn main() {
+    // A 10,000-member group with the paper's default workload: upload
+    // bandwidths uniform in [400, 1000] kbps, capacities uniform in [4..10].
+    let group = Scenario::paper_default(7).with_n(10_000).members();
+    println!(
+        "group: {} members on ring {}, mean capacity {:.2}",
+        group.len(),
+        group.space(),
+        group.mean_capacity()
+    );
+
+    // Build both CAM overlays over the same membership.
+    let cam_chord = CamChord::new(group.clone());
+    let cam_koorde = CamKoorde::new(group);
+
+    for overlay in [&cam_chord as &dyn StaticOverlay, &cam_koorde] {
+        // Any member can act as a source — here member #0.
+        let tree = overlay.multicast_tree(0);
+        assert!(tree.is_complete(), "every member must receive the message");
+        tree.check_invariants(overlay.members())
+            .expect("capacity bounds and tree structure hold");
+
+        let stats = tree.stats();
+        let throughput = tree.bottleneck_throughput_kbps(overlay.members());
+        println!(
+            "{:>10}: delivered {}/{} | depth {} | avg path {:.2} hops | \
+             sustainable throughput {:.1} kbps",
+            overlay.name(),
+            stats.delivered,
+            stats.group_size,
+            stats.depth,
+            stats.avg_path_len,
+            throughput
+        );
+
+        // Lookups route to the member responsible for any identifier.
+        let key = Id(123_456 % overlay.members().space().size());
+        let result = overlay.lookup(0, key);
+        println!(
+            "{:>10}: lookup({key}) → member {} in {} hops",
+            overlay.name(),
+            overlay.members().member(result.owner).id,
+            result.hops()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: exactly-once delivery, capacity bounds, and
+//! oracle-checked lookups for all four overlays over shared workloads.
+
+use cam::overlay::StaticOverlay;
+use cam::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn overlays(group: &MemberSet) -> Vec<Box<dyn StaticOverlay>> {
+    vec![
+        Box::new(CamChord::new(group.clone())),
+        Box::new(CamKoorde::new(group.clone())),
+        Box::new(cam::chord::Chord::new(group.clone(), 2)),
+        Box::new(cam::koorde::Koorde::new(group.clone(), 8)),
+    ]
+}
+
+#[test]
+fn every_system_delivers_exactly_once() {
+    let group = Scenario::paper_default(11).with_n(2_000).members();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for overlay in overlays(&group) {
+        for _ in 0..3 {
+            let src = rng.gen_range(0..group.len());
+            let tree = overlay.multicast_tree(src);
+            assert!(
+                tree.is_complete(),
+                "{}: multicast from {src} missed members",
+                overlay.name()
+            );
+            assert_eq!(tree.delivered(), group.len());
+        }
+    }
+}
+
+#[test]
+fn cam_systems_respect_capacity_everywhere() {
+    let group = Scenario::paper_default(13)
+        .with_n(1_500)
+        .with_capacity(CapacityAssignment::Uniform { lo: 4, hi: 40 })
+        .members();
+    for overlay in [
+        Box::new(CamChord::new(group.clone())) as Box<dyn StaticOverlay>,
+        Box::new(CamKoorde::new(group.clone())),
+    ] {
+        let tree = overlay.multicast_tree(7);
+        tree.check_invariants(&group)
+            .unwrap_or_else(|e| panic!("{}: {e}", overlay.name()));
+    }
+}
+
+#[test]
+fn lookups_agree_with_ring_oracle_across_systems() {
+    let group = Scenario::paper_default(17).with_n(800).members();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    for overlay in overlays(&group) {
+        for _ in 0..200 {
+            let origin = rng.gen_range(0..group.len());
+            let key = Id(rng.gen_range(0..group.space().size()));
+            let result = overlay.lookup(origin, key);
+            assert_eq!(
+                result.owner,
+                group.owner_idx(key),
+                "{}: wrong owner for key {key} from {origin}",
+                overlay.name()
+            );
+            assert_eq!(result.path[0], origin, "path starts at the origin");
+        }
+    }
+}
+
+#[test]
+fn capacity_awareness_beats_oblivious_throughput() {
+    // The paper's core claim, checked end to end: same hosts, same mean
+    // degree, capacity-aware wins on bottleneck throughput.
+    let aware = Scenario::paper_default(31)
+        .with_n(3_000)
+        .with_capacity(CapacityAssignment::PerLink {
+            p: 100.0,
+            min: 4,
+            max: 4096,
+        })
+        .members();
+    let oblivious = Scenario::paper_default(31)
+        .with_n(3_000)
+        .with_capacity(CapacityAssignment::Constant(7))
+        .members();
+
+    let t_aware = CamChord::new(aware.clone())
+        .multicast_tree(0)
+        .bottleneck_throughput_kbps(&aware);
+    let t_oblivious = CamChord::new(oblivious.clone())
+        .multicast_tree(0)
+        .bottleneck_throughput_kbps(&oblivious);
+    let ratio = t_aware / t_oblivious;
+    assert!(
+        (1.4..2.2).contains(&ratio),
+        "improvement {ratio:.2} should be ≈ (a+b)/2a = 1.75"
+    );
+}
+
+#[test]
+fn multicast_throughput_matches_packet_simulation() {
+    // The analytic bottleneck model and the store-and-forward packet
+    // simulation agree on real CAM trees.
+    let group = Scenario::paper_default(37).with_n(500).members();
+    let overlay = CamChord::new(group.clone());
+    let tree = overlay.multicast_tree(3);
+    let analytic = tree.bottleneck_throughput_kbps(&group);
+    let upload: Vec<f64> = group.iter().map(|m| m.upload_kbps).collect();
+    let report = cam::sim::bandwidth::simulate_stream(
+        &tree.children_vec(),
+        tree.source(),
+        &upload,
+        &cam::sim::bandwidth::StreamConfig {
+            packets: 500,
+            ..Default::default()
+        },
+    );
+    let err = (report.delivered_kbps - analytic).abs() / analytic;
+    assert!(
+        err < 0.05,
+        "packet sim {:.1} vs analytic {analytic:.1} ({:.1}% off)",
+        report.delivered_kbps,
+        err * 100.0
+    );
+}
+
+#[test]
+fn tiny_groups_all_systems() {
+    // Degenerate group sizes must work everywhere.
+    for n in [1usize, 2, 3, 5] {
+        let group = Scenario::paper_default(n as u64 + 41).with_n(n).members();
+        for overlay in overlays(&group) {
+            let tree = overlay.multicast_tree(0);
+            assert!(tree.is_complete(), "{} with n={n}", overlay.name());
+            let r = overlay.lookup(0, Id(12345 % group.space().size()));
+            assert_eq!(r.owner, group.owner_idx(Id(12345 % group.space().size())));
+        }
+    }
+}

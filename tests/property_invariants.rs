@@ -1,0 +1,92 @@
+//! Property-based cross-crate invariants: for arbitrary group sizes,
+//! capacity distributions, seeds, and sources, the CAM guarantees hold.
+
+use cam::overlay::StaticOverlay;
+use cam::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random scenario small enough to exercise per-case in a
+/// property test, heterogeneous capacities included.
+fn scenario() -> impl Strategy<Value = (MemberSet, usize)> {
+    (2usize..250, 4u32..40, 0u64..1_000).prop_flat_map(|(n, hi_cap, seed)| {
+        let group = Scenario::paper_default(seed)
+            .with_n(n)
+            .with_capacity(CapacityAssignment::Uniform {
+                lo: 4,
+                hi: hi_cap.max(4),
+            })
+            .members();
+        let len = group.len();
+        (Just(group), 0..len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CAM-Chord multicast: exactly-once, complete, capacity-bounded — for
+    /// any group and any source.
+    #[test]
+    fn cam_chord_multicast_invariants((group, src) in scenario()) {
+        let overlay = CamChord::new(group.clone());
+        let tree = overlay.multicast_tree(src);
+        prop_assert!(tree.is_complete());
+        prop_assert!(tree.check_invariants(&group).is_ok());
+        // Throughput is at least B_min / c_max by construction.
+        let tput = tree.bottleneck_throughput_kbps(&group);
+        prop_assert!(tput > 0.0);
+    }
+
+    /// CAM-Koorde flooding: same guarantees.
+    #[test]
+    fn cam_koorde_multicast_invariants((group, src) in scenario()) {
+        let overlay = CamKoorde::new(group.clone());
+        let tree = overlay.multicast_tree(src);
+        prop_assert!(tree.is_complete());
+        prop_assert!(tree.check_invariants(&group).is_ok());
+    }
+
+    /// Lookups from any origin for any key find the oracle owner, in both
+    /// CAM systems.
+    #[test]
+    fn lookups_always_find_owner(
+        (group, origin) in scenario(),
+        key_raw in 0u64..(1 << 19),
+    ) {
+        let key = Id(key_raw);
+        let expected = group.owner_idx(key);
+        let chord = CamChord::new(group.clone());
+        prop_assert_eq!(chord.lookup(origin, key).owner, expected);
+        let koorde = CamKoorde::new(group);
+        prop_assert_eq!(koorde.lookup(origin, key).owner, expected);
+    }
+
+    /// The multicast tree's per-hop histogram always sums to the delivered
+    /// count, and depth bounds the histogram's support.
+    #[test]
+    fn tree_stats_internally_consistent((group, src) in scenario()) {
+        let tree = CamChord::new(group.clone()).multicast_tree(src);
+        let stats = tree.stats();
+        let total: u64 = stats.path_len_histogram.iter().sum();
+        prop_assert_eq!(total as usize, stats.delivered);
+        prop_assert_eq!(
+            stats.path_len_histogram.len() as u32,
+            stats.depth + 1,
+            "histogram support must end at the depth"
+        );
+    }
+
+    /// CAM-Chord's neighbor count stays within the paper's
+    /// O(c · log N / log c) bound (with constant 1, counting identifiers).
+    #[test]
+    fn neighbor_count_bounded((group, member) in scenario()) {
+        let overlay = CamChord::new(group.clone());
+        let c = group.member(member).capacity as f64;
+        let bound = c * (19.0 / c.log2()).ceil();
+        prop_assert!(
+            (overlay.neighbor_count(member) as f64) <= bound,
+            "{} neighbors with capacity {c}",
+            overlay.neighbor_count(member)
+        );
+    }
+}
