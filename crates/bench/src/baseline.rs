@@ -1,0 +1,222 @@
+//! The pre-optimization hot path, preserved verbatim for benchmarking.
+//!
+//! `BENCH_hotpath.json` must report speedups measured *in the same run*
+//! against the code this repository shipped before the hot-path overhaul,
+//! so that baseline lives on here:
+//!
+//! * **ring resolution** by `partition_point` binary search (now exposed by
+//!   `MemberSet` as the `*_binsearch` methods);
+//! * **tree construction** with per-member `Vec<Vec<usize>>` children,
+//!   `Vec<Option<usize>>` bookkeeping, a fresh child-selection `Vec` per
+//!   node, and a fresh work queue per tree;
+//! * **sweep parallelism** by spawning one OS thread per input
+//!   (`crossbeam::scope` then; scoped `std::thread` here — same shape);
+//! * **source sampling** strictly serial within a configuration.
+//!
+//! Keep this module in sync with nothing: it is intentionally frozen.
+
+use cam_core::cam_chord::multicast::ChildSelection;
+use cam_core::cam_chord::neighbors::level_seq_of;
+use cam_overlay::MemberSet;
+use cam_ring::math::pow_saturating;
+use cam_ring::Id;
+
+/// The old tree record: option-boxed bookkeeping and one child vector per
+/// member, allocated up front.
+#[derive(Debug, Clone)]
+pub struct BaselineTree {
+    source: usize,
+    parent: Vec<Option<usize>>,
+    hops: Vec<Option<u32>>,
+    children: Vec<Vec<usize>>,
+    delivered: usize,
+}
+
+impl BaselineTree {
+    /// Starts a tree for `n` members rooted at `source`.
+    pub fn new(n: usize, source: usize) -> Self {
+        assert!(n > 0 && source < n);
+        let mut hops = vec![None; n];
+        hops[source] = Some(0);
+        BaselineTree {
+            source,
+            parent: vec![None; n],
+            hops,
+            children: vec![Vec::new(); n],
+            delivered: 1,
+        }
+    }
+
+    /// Records a delivery, returning `false` on duplicates.
+    pub fn deliver(&mut self, parent: usize, child: usize) -> bool {
+        assert_ne!(parent, child);
+        let parent_hops = self.hops[parent].expect("parent has not received the message");
+        if self.hops[child].is_some() {
+            return false;
+        }
+        self.hops[child] = Some(parent_hops + 1);
+        self.parent[child] = Some(parent);
+        self.children[parent].push(child);
+        self.delivered += 1;
+        true
+    }
+
+    /// The root.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Whether every member was reached.
+    pub fn is_complete(&self) -> bool {
+        self.delivered == self.parent.len()
+    }
+
+    /// Direct children of `member`.
+    pub fn children_of(&self, member: usize) -> &[usize] {
+        &self.children[member]
+    }
+
+    /// The old bottleneck-throughput computation (min over internal nodes
+    /// of `B_x / d_x`).
+    pub fn bottleneck_throughput_kbps(&self, group: &MemberSet) -> f64 {
+        let mut min = f64::INFINITY;
+        for m in 0..self.parent.len() {
+            let d = self.children[m].len();
+            if d > 0 {
+                min = min.min(group.member(m).upload_kbps / d as f64);
+            }
+        }
+        min
+    }
+}
+
+/// The old `select_children`: a fresh output vector per call, every owner
+/// resolved by binary search.
+pub fn select_children(
+    group: &MemberSet,
+    x_idx: usize,
+    k: Id,
+    selection: ChildSelection,
+) -> Vec<(usize, Id)> {
+    let space = group.space();
+    let x = group.member(x_idx).id;
+    let c = u64::from(group.member(x_idx).capacity);
+    if space.seg_len(x, k) == 0 {
+        return Vec::new();
+    }
+
+    let (i, j) = level_seq_of(space, x, group.member(x_idx).capacity, k);
+    let mut out: Vec<(usize, Id)> = Vec::new();
+    let mut k_prime = k;
+
+    let consider = |target: Id, k_prime: &mut Id, out: &mut Vec<(usize, Id)>| {
+        let child_idx = group.owner_idx_binsearch(target);
+        let child_id = group.member(child_idx).id;
+        if space.in_segment(child_id, x, *k_prime) {
+            out.push((child_idx, *k_prime));
+        }
+        *k_prime = space.sub(target, 1);
+    };
+
+    let ci = pow_saturating(c, i);
+    for m in (1..=j).rev() {
+        consider(space.add(x, m * ci), &mut k_prime, &mut out);
+    }
+    if i >= 1 && c > j + 1 {
+        let ci1 = pow_saturating(c, i - 1);
+        let slots = c - j - 1;
+        let b = c - j;
+        for t in 1..=slots {
+            let a = c * (c - j - t);
+            let seq = match selection {
+                ChildSelection::Ceil => a.div_ceil(b),
+                ChildSelection::Floor => a / b,
+            };
+            if seq == 0 {
+                continue;
+            }
+            consider(space.add(x, seq * ci1), &mut k_prime, &mut out);
+        }
+    }
+    consider(space.add(x, 1), &mut k_prime, &mut out);
+    out
+}
+
+/// The old CAM-Chord multicast driver: fresh queue per tree, fresh
+/// selection vector per node.
+pub fn cam_chord_tree(group: &MemberSet, source: usize) -> BaselineTree {
+    let space = group.space();
+    let mut tree = BaselineTree::new(group.len(), source);
+    let mut queue: std::collections::VecDeque<(usize, Id)> = std::collections::VecDeque::new();
+    queue.push_back((source, space.sub(group.member(source).id, 1)));
+    while let Some((node, k)) = queue.pop_front() {
+        for (child, region_end) in select_children(group, node, k, ChildSelection::Ceil) {
+            if tree.deliver(node, child) {
+                queue.push_back((child, region_end));
+            }
+        }
+    }
+    tree
+}
+
+/// The old `parallel_sweep`: one OS thread per input, regardless of core
+/// count.
+pub fn parallel_sweep_spawn_per_input<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let mut out: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, input) in out.iter_mut().zip(&inputs) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(input));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam_core::CamChord;
+    use cam_overlay::{Member, StaticOverlay};
+    use cam_ring::IdSpace;
+
+    /// The frozen baseline and the optimized path must still build the same
+    /// trees — otherwise the benchmark compares different algorithms.
+    #[test]
+    fn baseline_tree_matches_current() {
+        let group = MemberSet::new(
+            IdSpace::new(12),
+            (0..500u64)
+                .map(|i| Member::with_capacity(Id(i * 8 + 1), 4 + (i % 5) as u32))
+                .collect(),
+        )
+        .unwrap();
+        let overlay = CamChord::new(group.clone());
+        for src in [0usize, 123, 499] {
+            let old = cam_chord_tree(&group, src);
+            let new = overlay.multicast_tree(src);
+            assert!(old.is_complete() && new.is_complete());
+            for m in 0..group.len() {
+                assert_eq!(old.children_of(m), new.children_of(m), "member {m}");
+            }
+            assert_eq!(
+                old.bottleneck_throughput_kbps(&group),
+                new.bottleneck_throughput_kbps(&group)
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_per_input_preserves_order() {
+        let out = parallel_sweep_spawn_per_input((0..16).collect(), |&x: &i32| x * 3);
+        assert_eq!(out, (0..16).map(|x| x * 3).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,314 @@
+//! Hot-path throughput harness: current code vs. the frozen pre-overhaul
+//! baseline ([`cam_bench::baseline`]), measured in the same run, written to
+//! `BENCH_hotpath.json` at the repository root.
+//!
+//! Three sections:
+//!
+//! 1. **owner resolution** — `MemberSet::owner_idx` (bucket index) vs.
+//!    `owner_idx_binsearch` (`partition_point`), lookups/second;
+//! 2. **tree construction** — `CamChord::multicast_tree` (flat tree,
+//!    reusable scratch, indexed resolution) vs.
+//!    `baseline::cam_chord_tree`, trees/second;
+//! 3. **fig6 quick-profile sweep** — the CAM-Chord portion of the Figure 6
+//!    sweep at `Options::quick()` scale, end-to-end: current pooled
+//!    `parallel_sweep` + parallel `sample_trees` vs. the old
+//!    thread-per-input spawn + serial source sampling. This is the number
+//!    the acceptance bar (≥ 2× end-to-end trees/sec) reads.
+//!
+//! Uses `std::time` only (criterion is a dev-dependency, unavailable to
+//! binaries) and a deterministic splitmix64 key stream instead of an RNG,
+//! so runs are reproducible modulo machine noise.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cam_bench::baseline;
+use cam_core::CamChord;
+use cam_experiments::fig6::DEGREE_TARGETS;
+use cam_experiments::runner::{parallel_sweep, sample_distinct_sources, sample_trees};
+use cam_experiments::Options;
+use cam_overlay::{MemberSet, StaticOverlay};
+use cam_ring::Id;
+use cam_workload::{BandwidthDist, CapacityAssignment, Scenario};
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) for key streams.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn group_of(n: usize, seed: u64) -> MemberSet {
+    Scenario::paper_default(seed).with_n(n).members()
+}
+
+/// Times `f` over `reps` repetitions and returns the best (minimum)
+/// duration in seconds — the standard noise-resistant estimator.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct ResolutionRow {
+    n: usize,
+    lookups: usize,
+    indexed_mops: f64,
+    binsearch_mops: f64,
+    speedup: f64,
+}
+
+fn bench_resolution(n: usize, lookups: usize) -> ResolutionRow {
+    let group = group_of(n, 1);
+    let mask = group.space().size() - 1;
+    let keys: Vec<Id> = (0..lookups as u64).map(|i| Id(mix64(i) & mask)).collect();
+
+    // Warm-up + cross-check: both resolvers must agree on every key.
+    for &k in keys.iter().take(10_000) {
+        assert_eq!(group.owner_idx(k), group.owner_idx_binsearch(k));
+    }
+
+    let indexed = best_of(3, || {
+        let mut acc = 0usize;
+        for &k in &keys {
+            acc = acc.wrapping_add(group.owner_idx(k));
+        }
+        black_box(acc);
+    });
+    let binsearch = best_of(3, || {
+        let mut acc = 0usize;
+        for &k in &keys {
+            acc = acc.wrapping_add(group.owner_idx_binsearch(k));
+        }
+        black_box(acc);
+    });
+    ResolutionRow {
+        n,
+        lookups,
+        indexed_mops: lookups as f64 / indexed / 1e6,
+        binsearch_mops: lookups as f64 / binsearch / 1e6,
+        speedup: binsearch / indexed,
+    }
+}
+
+struct TreeRow {
+    n: usize,
+    trees: usize,
+    current_trees_per_sec: f64,
+    baseline_trees_per_sec: f64,
+    speedup: f64,
+}
+
+fn bench_tree_build(n: usize, trees: usize) -> TreeRow {
+    let group = group_of(n, 2);
+    let overlay = CamChord::new(group.clone());
+    let sources: Vec<usize> = (0..trees as u64).map(|i| mix64(i) as usize % n).collect();
+
+    let current = best_of(3, || {
+        for &src in &sources {
+            black_box(overlay.multicast_tree(src).delivered());
+        }
+    });
+    let base = best_of(3, || {
+        for &src in &sources {
+            black_box(baseline::cam_chord_tree(&group, src).is_complete());
+        }
+    });
+    TreeRow {
+        n,
+        trees,
+        current_trees_per_sec: trees as f64 / current,
+        baseline_trees_per_sec: trees as f64 / base,
+        speedup: base / current,
+    }
+}
+
+struct SweepResult {
+    n: usize,
+    sources: usize,
+    targets: usize,
+    trees_per_rep: usize,
+    current_trees_per_sec: f64,
+    baseline_trees_per_sec: f64,
+    speedup: f64,
+}
+
+/// The CAM-Chord slice of the Figure 6 sweep: one capacity-aware group per
+/// degree target, `opts.sources` multicast trees each, mean bottleneck
+/// throughput per target. Overlay construction is shared (identical work on
+/// both paths, built once up front); the timed region is the sweep itself —
+/// source sampling, tree construction, and aggregation across all targets.
+fn bench_fig6_quick_sweep(opts: &Options) -> SweepResult {
+    let mean_b = BandwidthDist::PAPER.mean();
+    let overlays: Vec<(u64, CamChord)> = DEGREE_TARGETS
+        .iter()
+        .map(|&target| {
+            let seed = opts.sub_seed(u64::from(target));
+            let group = Scenario::paper_default(seed)
+                .with_n(opts.n)
+                .with_capacity(CapacityAssignment::PerLink {
+                    p: mean_b / f64::from(target),
+                    min: 4,
+                    max: 4096,
+                })
+                .members();
+            (seed, CamChord::new(group))
+        })
+        .collect();
+
+    let inputs: Vec<(u64, &CamChord)> = overlays.iter().map(|(s, o)| (*s, o)).collect();
+
+    // Current: pooled sweep over targets, pooled sources inside.
+    let current_run = || -> Vec<f64> {
+        parallel_sweep(inputs.clone(), |&(seed, overlay)| {
+            sample_trees(overlay, opts.sources, seed ^ 1)
+                .throughput_kbps
+                .mean()
+        })
+    };
+    // Baseline: one OS thread per target, serial sources, alloc-heavy
+    // trees, binary-search resolution.
+    let baseline_run = || -> Vec<f64> {
+        baseline::parallel_sweep_spawn_per_input(inputs.clone(), |&(seed, overlay)| {
+            let group = overlay.members();
+            let srcs = sample_distinct_sources(group.len(), opts.sources, seed ^ 1);
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for src in srcs {
+                let tput =
+                    baseline::cam_chord_tree(group, src).bottleneck_throughput_kbps(group);
+                if tput.is_finite() {
+                    sum += tput;
+                    count += 1;
+                }
+            }
+            sum / count as f64
+        })
+    };
+
+    // Same sources, same trees ⇒ the two paths must agree on the result.
+    let cur = current_run();
+    let base = baseline_run();
+    for (a, b) in cur.iter().zip(&base) {
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "current ({a}) and baseline ({b}) sweeps diverged"
+        );
+    }
+
+    let trees_per_rep = DEGREE_TARGETS.len() * opts.sources;
+    let t_current = best_of(3, || {
+        black_box(current_run());
+    });
+    let t_baseline = best_of(3, || {
+        black_box(baseline_run());
+    });
+    SweepResult {
+        n: opts.n,
+        sources: opts.sources,
+        targets: DEGREE_TARGETS.len(),
+        trees_per_rep,
+        current_trees_per_sec: trees_per_rep as f64 / t_current,
+        baseline_trees_per_sec: trees_per_rep as f64 / t_baseline,
+        speedup: t_baseline / t_current,
+    }
+}
+
+/// Formats an `f64` for JSON (finite guaranteed by construction; keep a
+/// guard anyway).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!("hotpath: {threads} hardware threads");
+
+    let resolution: Vec<ResolutionRow> = [(4_000usize, 2_000_000usize), (100_000, 2_000_000)]
+        .into_iter()
+        .map(|(n, lookups)| {
+            let row = bench_resolution(n, lookups);
+            eprintln!(
+                "owner_idx         n={:>6}: indexed {:.1} Mops/s, binsearch {:.1} Mops/s ({:.2}x)",
+                row.n, row.indexed_mops, row.binsearch_mops, row.speedup
+            );
+            row
+        })
+        .collect();
+
+    let tree: Vec<TreeRow> = [(4_000usize, 64usize), (100_000, 6)]
+        .into_iter()
+        .map(|(n, trees)| {
+            let row = bench_tree_build(n, trees);
+            eprintln!(
+                "multicast_tree    n={:>6}: current {:.1} trees/s, baseline {:.1} trees/s ({:.2}x)",
+                row.n, row.current_trees_per_sec, row.baseline_trees_per_sec, row.speedup
+            );
+            row
+        })
+        .collect();
+
+    let sweep = bench_fig6_quick_sweep(&Options::quick());
+    eprintln!(
+        "fig6 quick sweep  n={:>6}: current {:.1} trees/s, baseline {:.1} trees/s ({:.2}x)",
+        sweep.n, sweep.current_trees_per_sec, sweep.baseline_trees_per_sec, sweep.speedup
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"cam-bench/hotpath/v1\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {threads},\n"));
+    json.push_str("  \"owner_resolution\": [\n");
+    for (i, r) in resolution.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"lookups\": {}, \"indexed_mops\": {}, \"binsearch_mops\": {}, \"speedup\": {}}}{}\n",
+            r.n,
+            r.lookups,
+            num(r.indexed_mops),
+            num(r.binsearch_mops),
+            num(r.speedup),
+            if i + 1 < resolution.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"tree_build\": [\n");
+    for (i, r) in tree.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"trees\": {}, \"current_trees_per_sec\": {}, \"baseline_trees_per_sec\": {}, \"speedup\": {}}}{}\n",
+            r.n,
+            r.trees,
+            num(r.current_trees_per_sec),
+            num(r.baseline_trees_per_sec),
+            num(r.speedup),
+            if i + 1 < tree.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fig6_quick_sweep\": {{\"n\": {}, \"sources\": {}, \"targets\": {}, \"trees_per_rep\": {}, \"current_trees_per_sec\": {}, \"baseline_trees_per_sec\": {}, \"speedup\": {}}}\n",
+        sweep.n,
+        sweep.sources,
+        sweep.targets,
+        sweep.trees_per_rep,
+        num(sweep.current_trees_per_sec),
+        num(sweep.baseline_trees_per_sec),
+        num(sweep.speedup)
+    ));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, &json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

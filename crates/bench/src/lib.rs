@@ -9,6 +9,8 @@
 
 use cam_experiments::Options;
 
+pub mod baseline;
+
 /// Bench-sized options: small enough for Criterion iterations, large
 /// enough that the algorithms dominate constant overheads.
 pub fn bench_options() -> Options {

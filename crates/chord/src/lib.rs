@@ -152,8 +152,10 @@ impl StaticOverlay for Chord {
             }
             let dist = space.seg_len(x, key);
             let (i, j) = level_and_seq(dist, u64::from(self.base));
-            let target =
-                space.add(x, j * cam_ring::math::pow_saturating(u64::from(self.base), i));
+            let target = space.add(
+                x,
+                j * cam_ring::math::pow_saturating(u64::from(self.base), i),
+            );
             let nb_idx = self.group.owner_idx(target);
             let nb = self.group.member(nb_idx).id;
             if space.in_segment(key, x, nb) {

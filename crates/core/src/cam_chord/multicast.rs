@@ -70,15 +70,36 @@ pub fn select_children(
     k: Id,
     selection: ChildSelection,
 ) -> Vec<ChildAssignment> {
+    let mut out = Vec::new();
+    select_children_into(group, x_idx, k, selection, &mut out);
+    out
+}
+
+/// [`select_children`] writing into a caller-owned buffer.
+///
+/// Clears `out` and fills it with the selections. The multicast driver
+/// reuses one buffer across every node of the tree, making child selection
+/// allocation-free on the hot path.
+///
+/// # Panics
+///
+/// Panics if `x_idx` is out of range.
+pub fn select_children_into(
+    group: &MemberSet,
+    x_idx: usize,
+    k: Id,
+    selection: ChildSelection,
+    out: &mut Vec<ChildAssignment>,
+) {
+    out.clear();
     let space = group.space();
     let x = group.member(x_idx).id;
     let c = u64::from(group.member(x_idx).capacity);
     if space.seg_len(x, k) == 0 {
-        return Vec::new(); // Lines 1–2: empty region.
+        return; // Lines 1–2: empty region.
     }
 
     let (i, j) = level_seq_of(space, x, group.member(x_idx).capacity, k);
-    let mut out: Vec<ChildAssignment> = Vec::new();
     let mut k_prime = k;
 
     // Tries to adopt owner(target) as a child for the tail region
@@ -96,7 +117,7 @@ pub fn select_children(
     // Lines 6–9: level-i neighbors m = j down to 1.
     let ci = pow_saturating(c, i);
     for m in (1..=j).rev() {
-        consider(space.add(x, m * ci), &mut k_prime, &mut out);
+        consider(space.add(x, m * ci), &mut k_prime, out);
     }
 
     // Lines 10–14: c − j − 1 evenly spaced level-(i−1) neighbors.
@@ -114,19 +135,18 @@ pub fn select_children(
             if seq == 0 {
                 continue; // floor rounding can hit 0 only in degenerate cases
             }
-            consider(space.add(x, seq * ci1), &mut k_prime, &mut out);
+            consider(space.add(x, seq * ci1), &mut k_prime, out);
         }
     }
 
     // Line 15: the successor x̂_{0,1}.
-    consider(space.add(x, 1), &mut k_prime, &mut out);
+    consider(space.add(x, 1), &mut k_prime, out);
 
     debug_assert!(
         out.len() <= c as usize,
         "selected {} children with capacity {c}",
         out.len()
     );
-    out
 }
 
 /// Runs the full distributed `MULTICAST` from `source` over a resolved
@@ -144,22 +164,37 @@ pub fn multicast_tree(
     source: usize,
     selection: ChildSelection,
 ) -> MulticastTree {
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+
+    // Work queue of (member, region end) — the recursion of the paper,
+    // iteratively — plus the child-selection buffer. Thread-local so the
+    // capacity learned on one tree is reused by every later tree built on
+    // this thread (the experiment harness builds thousands per sweep).
+    type Scratch = (VecDeque<(usize, Id)>, Vec<ChildAssignment>);
+    thread_local! {
+        static SCRATCH: RefCell<Scratch> =
+            const { RefCell::new((VecDeque::new(), Vec::new())) };
+    }
+
     let space = group.space();
     let mut tree = MulticastTree::new(group.len(), source);
-    // Work queue of (member, region end) — the recursion of the paper,
-    // iteratively.
-    let mut queue: std::collections::VecDeque<(usize, Id)> = std::collections::VecDeque::new();
-    queue.push_back((source, space.sub(group.member(source).id, 1)));
+    SCRATCH.with(|scratch| {
+        let (queue, picks) = &mut *scratch.borrow_mut();
+        queue.clear();
+        queue.push_back((source, space.sub(group.member(source).id, 1)));
 
-    while let Some((node, k)) = queue.pop_front() {
-        for (child, region_end) in select_children(group, node, k, selection) {
-            let fresh = tree.deliver(node, child);
-            debug_assert!(fresh, "duplicate delivery to member {child} — region leak");
-            if fresh {
-                queue.push_back((child, region_end));
+        while let Some((node, k)) = queue.pop_front() {
+            select_children_into(group, node, k, selection, picks);
+            for &(child, region_end) in picks.iter() {
+                let fresh = tree.deliver(node, child);
+                debug_assert!(fresh, "duplicate delivery to member {child} — region leak");
+                if fresh {
+                    queue.push_back((child, region_end));
+                }
             }
         }
-    }
+    });
     tree
 }
 
@@ -181,7 +216,10 @@ mod tests {
     }
 
     fn ids(group: &MemberSet, children: &[usize]) -> Vec<u64> {
-        children.iter().map(|&c| group.member(c).id.value()).collect()
+        children
+            .iter()
+            .map(|&c| group.member(c).id.value())
+            .collect()
     }
 
     /// The paper's Figure 3, reproduced edge for edge.
@@ -195,7 +233,10 @@ mod tests {
         // Root x → {x+29, x+18, x+4}.
         let root_children = ids(&g, t.children_of(0));
         assert_eq!(
-            root_children.iter().copied().collect::<std::collections::BTreeSet<_>>(),
+            root_children
+                .iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>(),
             [4u64, 18, 29].into_iter().collect()
         );
         // x+18 → {x+21, x+26}.
@@ -306,7 +347,10 @@ mod tests {
     fn two_member_group() {
         let g = MemberSet::new(
             IdSpace::new(5),
-            vec![Member::with_capacity(Id(3), 3), Member::with_capacity(Id(20), 3)],
+            vec![
+                Member::with_capacity(Id(3), 3),
+                Member::with_capacity(Id(20), 3),
+            ],
         )
         .unwrap();
         for src in 0..2 {

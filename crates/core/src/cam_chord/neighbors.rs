@@ -34,10 +34,26 @@ use cam_ring::{Id, IdSpace};
 /// assert_eq!(offsets, vec![1, 2, 3, 6, 9, 18, 27]);
 /// ```
 pub fn neighbor_targets(space: IdSpace, x: Id, c: u32) -> Vec<Id> {
+    let mut out = Vec::new();
+    for_each_neighbor_target(space, x, c, |t| out.push(t));
+    out
+}
+
+/// Visits every neighbor identifier of `x` in increasing clockwise offset,
+/// without allocating — the iteration underlying [`neighbor_targets`].
+///
+/// The visit order (offsets `j·c^i` strictly increasing) is what lets
+/// callers deduplicate resolved owners by comparing adjacent visits only:
+/// walking clockwise from `x`, each member owns one consecutive run of
+/// targets.
+///
+/// # Panics
+///
+/// Panics if `c < 2`.
+pub fn for_each_neighbor_target(space: IdSpace, x: Id, c: u32, mut visit: impl FnMut(Id)) {
     assert!(c >= 2, "CAM-Chord capacity must be >= 2, got {c}");
     let c = u64::from(c);
     let n = space.size();
-    let mut out = Vec::new();
     let mut stride = 1u64; // c^i
     while stride < n {
         for j in 1..c {
@@ -45,14 +61,13 @@ pub fn neighbor_targets(space: IdSpace, x: Id, c: u32) -> Vec<Id> {
                 Some(o) if o < n => o,
                 _ => break,
             };
-            out.push(space.add(x, off));
+            visit(space.add(x, off));
         }
         stride = match stride.checked_mul(c) {
             Some(s) => s,
             None => break,
         };
     }
-    out
 }
 
 /// The neighbor identifier `x_{i,j} = x + j·c^i`, or `None` when the offset
@@ -144,7 +159,11 @@ mod tests {
         assert_eq!(neighbor_target(space, Id(0), 3, 1, 2), Some(Id(6)));
         assert_eq!(neighbor_target(space, Id(0), 3, 3, 1), Some(Id(27)));
         assert_eq!(neighbor_target(space, Id(0), 3, 3, 2), None, "54 ≥ 32");
-        assert_eq!(neighbor_target(space, Id(30), 3, 1, 1), Some(Id(1)), "wraps");
+        assert_eq!(
+            neighbor_target(space, Id(30), 3, 1, 1),
+            Some(Id(1)),
+            "wraps"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use cam_overlay::{LookupResult, MemberSet, MulticastTree, StaticOverlay};
 use cam_ring::Id;
 
 use super::multicast::{multicast_tree, select_children, ChildAssignment, ChildSelection};
-use super::neighbors::neighbor_targets;
+use super::neighbors::for_each_neighbor_target;
 
 /// A CAM-Chord overlay resolved against full membership — the converged
 /// state of the maintenance protocol, used for large-scale experiments.
@@ -58,15 +58,24 @@ impl StaticOverlay for CamChord {
     }
 
     fn neighbor_count(&self, member: usize) -> usize {
+        // Targets are visited in increasing clockwise offset, so owner
+        // resolution walks the ring monotonically and each distinct owner
+        // occupies one consecutive run of visits: counting changes between
+        // adjacent visits deduplicates without the former sort + dedup
+        // allocation.
         let m = self.group.member(member);
-        let mut owners: Vec<usize> = neighbor_targets(self.group.space(), m.id, m.capacity)
-            .into_iter()
-            .map(|t| self.group.owner_idx(t))
-            .filter(|&idx| idx != member)
-            .collect();
-        owners.sort_unstable();
-        owners.dedup();
-        owners.len()
+        let mut count = 0usize;
+        let mut prev = usize::MAX;
+        for_each_neighbor_target(self.group.space(), m.id, m.capacity, |t| {
+            let idx = self.group.owner_idx(t);
+            if idx != prev {
+                prev = idx;
+                if idx != member {
+                    count += 1;
+                }
+            }
+        });
+        count
     }
 
     fn name(&self) -> &'static str {
@@ -77,6 +86,7 @@ impl StaticOverlay for CamChord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cam_chord::neighbors::neighbor_targets;
     use cam_overlay::Member;
     use cam_ring::IdSpace;
 
@@ -99,11 +109,10 @@ mod tests {
         let o = fig2_overlay();
         assert_eq!(o.neighbor_count(0), 5);
         let g = o.members();
-        let owners: std::collections::BTreeSet<u64> =
-            neighbor_targets(g.space(), Id(0), 3)
-                .into_iter()
-                .map(|t| g.member(g.owner_idx(t)).id.value())
-                .collect();
+        let owners: std::collections::BTreeSet<u64> = neighbor_targets(g.space(), Id(0), 3)
+            .into_iter()
+            .map(|t| g.member(g.owner_idx(t)).id.value())
+            .collect();
         assert_eq!(owners, [4u64, 8, 13, 18, 29].into_iter().collect());
     }
 

@@ -130,7 +130,10 @@ mod tests {
             Some(Id(18))
         );
         // Key 2 is owned by the successor.
-        assert_eq!(p.next_hop(S, &me, &nbs, &member(4, 3), None, Id(2), &mut st), None);
+        assert_eq!(
+            p.next_hop(S, &me, &nbs, &member(4, 3), None, Id(2), &mut st),
+            None
+        );
         // Key 31: closest preceding is 29.
         assert_eq!(
             p.next_hop(S, &me, &nbs, &member(4, 3), None, Id(31), &mut st),
@@ -142,7 +145,13 @@ mod tests {
     fn multicast_children_partition_region() {
         let p = CamChordProtocol;
         let me = member(0, 3);
-        let nbs = vec![member(4, 3), member(8, 3), member(13, 3), member(18, 3), member(29, 3)];
+        let nbs = vec![
+            member(4, 3),
+            member(8, 3),
+            member(13, 3),
+            member(18, 3),
+            member(29, 3),
+        ];
         let succ = member(4, 3);
         let children =
             p.multicast_children(S, &me, &nbs, &succ, Some(Segment::all_but(S, Id(0))));
@@ -179,7 +188,13 @@ mod tests {
         let me = member(0, 3);
         // Region (0, 2] but all neighbors beyond it.
         let nbs = vec![member(13, 3), member(29, 3)];
-        let out = p.multicast_children(S, &me, &nbs, &member(13, 3), Some(Segment::new(Id(0), Id(2))));
+        let out = p.multicast_children(
+            S,
+            &me,
+            &nbs,
+            &member(13, 3),
+            Some(Segment::new(Id(0), Id(2))),
+        );
         assert!(out.is_empty());
     }
 }

@@ -68,7 +68,7 @@ impl<'a> ProximityCamChord<'a> {
                         }
                         if idx != x_idx {
                             let d = (self_delay(delay, x_idx, idx), idx);
-                            if best.map_or(true, |b| d < b) {
+                            if best.is_none_or(|b| d < b) {
                                 best = Some(d);
                             }
                         }
@@ -211,9 +211,7 @@ impl StaticOverlay for ProximityCamChord<'_> {
                 .iter()
                 .map(|&(_, idx)| idx)
                 .chain(std::iter::once(self.group.next_idx(node)))
-                .filter(|&idx| {
-                    idx != node && space.in_segment(self.group.member(idx).id, x, k)
-                })
+                .filter(|&idx| idx != node && space.in_segment(self.group.member(idx).id, x, k))
                 .collect();
             cuts.sort_by_key(|&idx| space.seg_len(x, self.group.member(idx).id));
             cuts.dedup();
@@ -278,7 +276,9 @@ mod tests {
 
     fn coords(n: usize, seed: u64) -> Vec<(f64, f64)> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
+        (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
     }
 
     fn planar_delay(coords: &[(f64, f64)]) -> impl Fn(usize, usize) -> f64 + Sync + '_ {

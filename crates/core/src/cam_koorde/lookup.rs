@@ -197,10 +197,12 @@ mod tests {
         // The paper's Figure 4 topology: 16 nodes on a 64-identifier ring.
         MemberSet::new(
             IdSpace::new(6),
-            [1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61]
-                .iter()
-                .map(|&v| Member::with_capacity(Id(v), 10))
-                .collect(),
+            [
+                1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61,
+            ]
+            .iter()
+            .map(|&v| Member::with_capacity(Id(v), 10))
+            .collect(),
         )
         .unwrap()
     }
@@ -228,7 +230,11 @@ mod tests {
         assert_eq!(debruijn_step(4, Id(0b0), 0, 19), (1, 0));
         // c = 6: s = 1 → no second group; s' = 2, t' = 2.
         assert_eq!(debruijn_step(6, Id(0b01), 0, 19), (2, 1));
-        assert_eq!(debruijn_step(6, Id(0b11), 0, 19), (1, 1), "i=3 ≥ t'=2 → basic");
+        assert_eq!(
+            debruijn_step(6, Id(0b11), 0, 19),
+            (1, 1),
+            "i=3 ≥ t'=2 → basic"
+        );
         // Offset l: bits are taken above the already-absorbed suffix.
         assert_eq!(debruijn_step(4, Id(0b10), 1, 18), (1, 1));
         // One bit left to absorb: even a capacity-10 node must take a

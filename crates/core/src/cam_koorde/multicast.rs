@@ -15,8 +15,6 @@
 
 use cam_overlay::{MemberSet, MulticastTree};
 
-use super::neighbors::neighbor_targets;
-
 /// Which edges a node floods on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FloodEdges {
@@ -31,18 +29,80 @@ pub enum FloodEdges {
 /// successor, and the owners of all derived targets, deduplicated, self
 /// excluded. Never larger than the member's capacity.
 pub fn out_neighbors(group: &MemberSet, idx: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    out_neighbors_into(group, idx, &mut out);
+    out
+}
+
+/// [`out_neighbors`] writing into a caller-owned buffer (cleared first), so
+/// whole-group adjacency construction reuses one allocation per thread.
+pub fn out_neighbors_into(group: &MemberSet, idx: usize, out: &mut Vec<usize>) {
+    out.clear();
     let m = group.member(idx);
-    let mut out: Vec<usize> = vec![group.prev_idx(idx), group.next_idx(idx)];
-    out.extend(
-        neighbor_targets(group.space(), m.id, m.capacity)
-            .into_iter()
-            .map(|t| group.owner_idx(t)),
-    );
+    out.push(group.prev_idx(idx));
+    out.push(group.next_idx(idx));
+    super::neighbors::for_each_neighbor_target(group.space(), m.id, m.capacity, |t| {
+        out.push(group.owner_idx(t))
+    });
     out.sort_unstable();
     out.dedup();
     out.retain(|&n| n != idx);
     debug_assert!(out.len() <= m.capacity as usize);
-    out
+}
+
+/// The flooding adjacency in compressed-sparse-row form: member `m`'s
+/// neighbors are one contiguous slice of a single backing vector, so a
+/// whole-group BFS touches two allocations total instead of one `Vec` per
+/// member.
+#[derive(Debug, Clone)]
+pub struct FloodAdjacency {
+    offsets: Vec<u32>,
+    neighbors: Vec<usize>,
+}
+
+impl FloodAdjacency {
+    /// Builds the adjacency for the group under the given edge policy.
+    pub fn new(group: &MemberSet, edges: FloodEdges) -> Self {
+        let n = group.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        match edges {
+            FloodEdges::Out => {
+                // Members are emitted in index order, so the CSR can be
+                // appended directly without a counting pass.
+                let mut buf = Vec::new();
+                for i in 0..n {
+                    out_neighbors_into(group, i, &mut buf);
+                    neighbors.extend_from_slice(&buf);
+                    offsets.push(neighbors.len() as u32);
+                }
+            }
+            FloodEdges::Bidirectional => {
+                for list in adjacency(group, edges) {
+                    neighbors.extend_from_slice(&list);
+                    offsets.push(neighbors.len() as u32);
+                }
+            }
+        }
+        FloodAdjacency { offsets, neighbors }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the adjacency covers no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The neighbors of member `m`, sorted ascending.
+    #[inline]
+    pub fn neighbors_of(&self, m: usize) -> &[usize] {
+        &self.neighbors[self.offsets[m] as usize..self.offsets[m + 1] as usize]
+    }
 }
 
 /// The full flooding adjacency for the group (out edges, plus reverse
@@ -72,8 +132,8 @@ pub fn adjacency(group: &MemberSet, edges: FloodEdges) -> Vec<Vec<usize>> {
 ///
 /// Panics if `source` is out of range.
 pub fn multicast_tree(group: &MemberSet, source: usize, edges: FloodEdges) -> MulticastTree {
-    let adj = adjacency(group, edges);
-    multicast_tree_with_adjacency(group, source, &adj)
+    let adj = FloodAdjacency::new(group, edges);
+    multicast_tree_with_flood_adjacency(group, source, &adj)
 }
 
 /// Same as [`multicast_tree`], but reusing a precomputed adjacency — the
@@ -83,16 +143,44 @@ pub fn multicast_tree_with_adjacency(
     source: usize,
     adj: &[Vec<usize>],
 ) -> MulticastTree {
+    bfs_flood(group, source, |node| &adj[node])
+}
+
+/// [`multicast_tree_with_adjacency`] over the CSR form — the shape
+/// [`CamKoorde`](super::CamKoorde) stores.
+pub fn multicast_tree_with_flood_adjacency(
+    group: &MemberSet,
+    source: usize,
+    adj: &FloodAdjacency,
+) -> MulticastTree {
+    bfs_flood(group, source, |node| adj.neighbors_of(node))
+}
+
+/// The BFS embedding a flood into an implicit tree, with a per-thread work
+/// queue reused across sources.
+fn bfs_flood<'a>(
+    group: &MemberSet,
+    source: usize,
+    neighbors: impl Fn(usize) -> &'a [usize],
+) -> MulticastTree {
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    thread_local! {
+        static QUEUE: RefCell<VecDeque<usize>> = const { RefCell::new(VecDeque::new()) };
+    }
     let mut tree = MulticastTree::new(group.len(), source);
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(source);
-    while let Some(node) = queue.pop_front() {
-        for &nb in &adj[node] {
-            if tree.deliver(node, nb) {
-                queue.push_back(nb);
+    QUEUE.with(|q| {
+        let queue = &mut *q.borrow_mut();
+        queue.clear();
+        queue.push_back(source);
+        while let Some(node) = queue.pop_front() {
+            for &nb in neighbors(node) {
+                if tree.deliver(node, nb) {
+                    queue.push_back(nb);
+                }
             }
         }
-    }
+    });
     tree
 }
 
@@ -105,10 +193,12 @@ mod tests {
     fn fig4_group() -> MemberSet {
         MemberSet::new(
             IdSpace::new(6),
-            [1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61]
-                .iter()
-                .map(|&v| Member::with_capacity(Id(v), 10))
-                .collect(),
+            [
+                1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61,
+            ]
+            .iter()
+            .map(|&v| Member::with_capacity(Id(v), 10))
+            .collect(),
         )
         .unwrap()
     }
@@ -125,7 +215,9 @@ mod tests {
             .collect();
         assert_eq!(
             nbrs,
-            [9u64, 12, 18, 25, 35, 37, 41, 50, 57, 4].into_iter().collect()
+            [9u64, 12, 18, 25, 35, 37, 41, 50, 57, 4]
+                .into_iter()
+                .collect()
         );
         let t = multicast_tree(&g, i36, FloodEdges::Out);
         assert_eq!(t.fanout(i36), 10);
@@ -204,7 +296,10 @@ mod tests {
     fn two_member_group_floods() {
         let g = MemberSet::new(
             IdSpace::new(6),
-            vec![Member::with_capacity(Id(5), 4), Member::with_capacity(Id(40), 4)],
+            vec![
+                Member::with_capacity(Id(5), 4),
+                Member::with_capacity(Id(40), 4),
+            ],
         )
         .unwrap();
         let t = multicast_tree(&g, 0, FloodEdges::Out);

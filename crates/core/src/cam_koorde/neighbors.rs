@@ -67,6 +67,34 @@ impl NeighborGroups {
 /// assert_eq!(vals(&g.third), vec![4, 12]);
 /// ```
 pub fn derive_groups(space: IdSpace, x: Id, c: u32) -> NeighborGroups {
+    let mut groups = NeighborGroups {
+        basic: Vec::new(),
+        second: Vec::new(),
+        third: Vec::new(),
+    };
+    for_each_group_target(space, x, c, |group, id| {
+        match group {
+            Group::Basic => &mut groups.basic,
+            Group::Second => &mut groups.second,
+            Group::Third => &mut groups.third,
+        }
+        .push(id)
+    });
+    groups
+}
+
+/// Which of the paper's three derivation groups a target belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Group {
+    Basic,
+    Second,
+    Third,
+}
+
+/// Visits every derived target of `x` with its group, in group order,
+/// without allocating. The arithmetic of §4.1 lives here; [`derive_groups`]
+/// and [`for_each_neighbor_target`] are wrappers.
+fn for_each_group_target(space: IdSpace, x: Id, c: u32, mut visit: impl FnMut(Group, Id)) {
     assert!(c >= 4, "CAM-Koorde requires capacity >= 4, got {c}");
     let b = space.bits();
     let x = x.value();
@@ -74,11 +102,10 @@ pub fn derive_groups(space: IdSpace, x: Id, c: u32) -> NeighborGroups {
     // Basic group (beyond predecessor/successor): right shift by one, high
     // bit replaced by 0 and 1.
     let half = x >> 1;
-    let basic = vec![Id(half), Id((1u64 << (b - 1)) | half)];
+    visit(Group::Basic, Id(half));
+    visit(Group::Basic, Id((1u64 << (b - 1)) | half));
 
     let remaining = u64::from(c) - 4;
-    let mut second = Vec::new();
-    let mut third = Vec::new();
     if remaining > 0 {
         let s = floor_log(remaining, 2);
         // "If s = 1, it means to shift one bit. The basic group already
@@ -87,7 +114,7 @@ pub fn derive_groups(space: IdSpace, x: Id, c: u32) -> NeighborGroups {
         if t > 0 {
             let shifted = x >> s;
             for i in 0..t {
-                second.push(Id((i << (b - s)) | shifted));
+                visit(Group::Second, Id((i << (b - s)) | shifted));
             }
         }
         let s_prime = s + 1;
@@ -98,21 +125,29 @@ pub fn derive_groups(space: IdSpace, x: Id, c: u32) -> NeighborGroups {
             let sp = s_prime.min(b);
             let shifted = x >> sp;
             for i in 0..t_prime {
-                third.push(Id(((i << (b - sp)) | shifted) & space.mask()));
+                visit(Group::Third, Id(((i << (b - sp)) | shifted) & space.mask()));
             }
         }
     }
-    NeighborGroups {
-        basic,
-        second,
-        third,
-    }
+}
+
+/// Visits every derived target of `x` (basic ∪ second ∪ third, in group
+/// order) without allocating — the iteration underlying
+/// [`neighbor_targets`]; adjacency construction uses it to avoid one
+/// `NeighborGroups` allocation per member.
+///
+/// # Panics
+///
+/// Panics if `c < 4`.
+pub fn for_each_neighbor_target(space: IdSpace, x: Id, c: u32, mut visit: impl FnMut(Id)) {
+    for_each_group_target(space, x, c, |_, id| visit(id));
 }
 
 /// Flattened derived targets of `x` (basic ∪ second ∪ third).
 pub fn neighbor_targets(space: IdSpace, x: Id, c: u32) -> Vec<Id> {
-    let g = derive_groups(space, x, c);
-    g.all().collect()
+    let mut out = Vec::new();
+    for_each_neighbor_target(space, x, c, |id| out.push(id));
+    out
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use cam_overlay::{LookupResult, MemberSet, MulticastTree, StaticOverlay};
 use cam_ring::Id;
 
-use super::multicast::{adjacency, multicast_tree_with_adjacency, FloodEdges};
+use super::multicast::{multicast_tree_with_flood_adjacency, FloodAdjacency, FloodEdges};
 
 /// A CAM-Koorde overlay resolved against full membership.
 ///
@@ -30,7 +30,7 @@ use super::multicast::{adjacency, multicast_tree_with_adjacency, FloodEdges};
 pub struct CamKoorde {
     group: MemberSet,
     edges: FloodEdges,
-    adj: Vec<Vec<usize>>,
+    adj: FloodAdjacency,
 }
 
 impl CamKoorde {
@@ -41,7 +41,7 @@ impl CamKoorde {
 
     /// Resolves the overlay with the given flooding-edge policy.
     pub fn with_edges(group: MemberSet, edges: FloodEdges) -> Self {
-        let adj = adjacency(&group, edges);
+        let adj = FloodAdjacency::new(&group, edges);
         CamKoorde { group, edges, adj }
     }
 
@@ -52,7 +52,7 @@ impl CamKoorde {
 
     /// The flooding adjacency list of a member.
     pub fn flood_neighbors(&self, member: usize) -> &[usize] {
-        &self.adj[member]
+        self.adj.neighbors_of(member)
     }
 }
 
@@ -66,7 +66,7 @@ impl StaticOverlay for CamKoorde {
     }
 
     fn multicast_tree(&self, source: usize) -> MulticastTree {
-        multicast_tree_with_adjacency(&self.group, source, &self.adj)
+        multicast_tree_with_flood_adjacency(&self.group, source, &self.adj)
     }
 
     fn neighbor_count(&self, member: usize) -> usize {
@@ -88,10 +88,12 @@ mod tests {
         CamKoorde::new(
             MemberSet::new(
                 IdSpace::new(6),
-                [1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61]
-                    .iter()
-                    .map(|&v| Member::with_capacity(Id(v), 10))
-                    .collect(),
+                [
+                    1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61,
+                ]
+                .iter()
+                .map(|&v| Member::with_capacity(Id(v), 10))
+                .collect(),
             )
             .unwrap(),
         )

@@ -106,7 +106,15 @@ mod tests {
         // substitutes key bits [2..4] = 0b100... the chosen hop must be one
         // of the resolved members nearest the derived target.
         let hop = p
-            .next_hop(S, &me, &nbs, &member(37), Some(&member(35)), key, &mut state)
+            .next_hop(
+                S,
+                &me,
+                &nbs,
+                &member(37),
+                Some(&member(35)),
+                key,
+                &mut state,
+            )
             .unwrap();
         assert!(nbs.iter().chain([&member(37)]).any(|m| m.id == hop));
         assert!(state > 2, "state must record absorbed bits");
@@ -129,7 +137,15 @@ mod tests {
         let p = CamKoordeProtocol;
         let me = member(36);
         let mut state = 6; // all bits absorbed on a 6-bit ring
-        let hop = p.next_hop(S, &me, &[], &member(41), Some(&member(35)), Id(34), &mut state);
+        let hop = p.next_hop(
+            S,
+            &me,
+            &[],
+            &member(41),
+            Some(&member(35)),
+            Id(34),
+            &mut state,
+        );
         assert_eq!(hop, Some(Id(35)), "walk toward the key via predecessor");
     }
 

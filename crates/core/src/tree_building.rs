@@ -169,8 +169,8 @@ impl SharedTree {
             cur = p;
         }
         // Downward: every internal node forwards to each child.
-        for m in 0..self.len() {
-            load[m] += self.children[m].len() as u64;
+        for (m, children) in self.children.iter().enumerate() {
+            load[m] += children.len() as u64;
         }
     }
 
@@ -260,9 +260,7 @@ mod tests {
             t.len()
         );
         // Total downward copies per message = n − 1.
-        let internal_total: u64 = (0..t.len())
-            .map(|m| t.children_of(m).len() as u64)
-            .sum();
+        let internal_total: u64 = (0..t.len()).map(|m| t.children_of(m).len() as u64).sum();
         assert_eq!(internal_total as usize, t.len() - 1);
     }
 

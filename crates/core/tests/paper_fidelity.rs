@@ -103,7 +103,9 @@ fn figure5_flood_levels() {
         .collect();
     assert_eq!(
         first_level,
-        [4u64, 9, 12, 18, 25, 35, 37, 41, 50, 57].into_iter().collect()
+        [4u64, 9, 12, 18, 25, 35, 37, 41, 50, 57]
+            .into_iter()
+            .collect()
     );
     assert_eq!(tree.stats().depth, 2);
 }
@@ -242,10 +244,12 @@ fn fig2_group() -> MemberSet {
 fn fig4_group() -> MemberSet {
     MemberSet::new(
         IdSpace::new(6),
-        [1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61]
-            .iter()
-            .map(|&v| Member::with_capacity(Id(v), 10))
-            .collect(),
+        [
+            1u64, 4, 9, 12, 18, 21, 25, 30, 35, 36, 37, 41, 46, 50, 57, 61,
+        ]
+        .iter()
+        .map(|&v| Member::with_capacity(Id(v), 10))
+        .collect(),
     )
     .unwrap()
 }
@@ -260,7 +264,9 @@ fn uniform_group(n: usize, c: u32, seed: u64) -> MemberSet {
     }
     MemberSet::new(
         space,
-        ids.iter().map(|&v| Member::with_capacity(Id(v), c)).collect(),
+        ids.iter()
+            .map(|&v| Member::with_capacity(Id(v), c))
+            .collect(),
     )
     .unwrap()
 }

@@ -46,9 +46,7 @@ fn main() -> ExitCode {
             },
             "--plot" => plot = true,
             "--help" | "-h" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown flag {other}"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
             fig => figures.push(fig.to_string()),
         }
     }

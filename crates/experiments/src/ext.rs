@@ -3,9 +3,9 @@
 //! ablations, and lookup-hop scaling.
 
 use cam_core::cam_chord::{CamChordProtocol, ChildSelection, ProximityCamChord};
-use cam_core::SharedTree;
 use cam_core::cam_koorde::multicast::FloodEdges;
 use cam_core::cam_koorde::CamKoordeProtocol;
+use cam_core::SharedTree;
 use cam_core::{CamChord, CamKoorde};
 use cam_metrics::{DataSeries, DataTable, Summary};
 use cam_overlay::dynamic::{DhtProtocol, DynamicNetwork};
@@ -113,10 +113,7 @@ fn run_crash_multicast<P: DhtProtocol>(
 /// capacity grows. CAM-Chord pays `O(c · log n / log c)`; CAM-Koorde pays
 /// exactly `c` slots (fewer after deduplication).
 pub fn overhead(opts: &Options) -> DataTable {
-    let mut table = DataTable::new(
-        "Ext-B: routing-table size vs node capacity",
-        "capacity",
-    );
+    let mut table = DataTable::new("Ext-B: routing-table size vs node capacity", "capacity");
     let capacities: Vec<u32> = vec![4, 8, 16, 32, 64, 100];
     let results = parallel_sweep(capacities.clone(), |&c| {
         let group = Scenario::paper_default(opts.sub_seed(u64::from(c)))
@@ -149,10 +146,7 @@ pub fn overhead(opts: &Options) -> DataTable {
 /// DESIGN.md — `ceil` vs `floor` child selection in CAM-Chord, and
 /// out-only vs bidirectional flooding in CAM-Koorde.
 pub fn ablation(opts: &Options) -> DataTable {
-    let mut table = DataTable::new(
-        "Ext-C: ablations (avg path length per variant)",
-        "variant",
-    );
+    let mut table = DataTable::new("Ext-C: ablations (avg path length per variant)", "variant");
     let group = Scenario::paper_default(opts.sub_seed(7))
         .with_n(opts.n)
         .members();
@@ -160,19 +154,27 @@ pub fn ablation(opts: &Options) -> DataTable {
     let variants: Vec<(&str, f64)> = vec![
         ("CAM-Chord ceil", {
             let o = CamChord::new(group.clone()).with_selection(ChildSelection::Ceil);
-            sample_trees(&o, opts.sources, opts.sub_seed(1)).avg_path_len.mean()
+            sample_trees(&o, opts.sources, opts.sub_seed(1))
+                .avg_path_len
+                .mean()
         }),
         ("CAM-Chord floor", {
             let o = CamChord::new(group.clone()).with_selection(ChildSelection::Floor);
-            sample_trees(&o, opts.sources, opts.sub_seed(1)).avg_path_len.mean()
+            sample_trees(&o, opts.sources, opts.sub_seed(1))
+                .avg_path_len
+                .mean()
         }),
         ("CAM-Koorde out-edges", {
             let o = CamKoorde::with_edges(group.clone(), FloodEdges::Out);
-            sample_trees(&o, opts.sources, opts.sub_seed(2)).avg_path_len.mean()
+            sample_trees(&o, opts.sources, opts.sub_seed(2))
+                .avg_path_len
+                .mean()
         }),
         ("CAM-Koorde bidirectional", {
             let o = CamKoorde::with_edges(group.clone(), FloodEdges::Bidirectional);
-            sample_trees(&o, opts.sources, opts.sub_seed(2)).avg_path_len.mean()
+            sample_trees(&o, opts.sources, opts.sub_seed(2))
+                .avg_path_len
+                .mean()
         }),
     ];
     let mut s = DataSeries::new("avg_path_len");
@@ -250,7 +252,9 @@ pub fn lookup_hops(opts: &Options) -> DataTable {
 pub fn load_balance(opts: &Options) -> DataTable {
     use rand::{Rng, SeedableRng};
     let n = opts.n.min(20_000);
-    let group = Scenario::paper_default(opts.sub_seed(0xE5)).with_n(n).members();
+    let group = Scenario::paper_default(opts.sub_seed(0xE5))
+        .with_n(n)
+        .members();
     let overlay = CamChord::new(group.clone());
     let messages = 60usize;
     let mut rng = rand::rngs::StdRng::seed_from_u64(opts.sub_seed(0xE6));
@@ -268,8 +272,8 @@ pub fn load_balance(opts: &Options) -> DataTable {
     let mut cam_load = vec![0u64; n];
     for &s in &sources {
         let tree = overlay.multicast_tree(s);
-        for m in 0..n {
-            cam_load[m] += tree.fanout(m) as u64;
+        for (m, l) in cam_load.iter_mut().enumerate() {
+            *l += tree.fanout(m) as u64;
         }
     }
 
@@ -287,12 +291,10 @@ pub fn load_balance(opts: &Options) -> DataTable {
     let shared_stats = stat(&mut shared_load.clone());
     let cam_stats = stat(&mut cam_load.clone());
 
-    let gini_shared = cam_metrics::fairness::gini(
-        &shared_load.iter().map(|&l| l as f64).collect::<Vec<_>>(),
-    );
-    let gini_cam = cam_metrics::fairness::gini(
-        &cam_load.iter().map(|&l| l as f64).collect::<Vec<_>>(),
-    );
+    let gini_shared =
+        cam_metrics::fairness::gini(&shared_load.iter().map(|&l| l as f64).collect::<Vec<_>>());
+    let gini_cam =
+        cam_metrics::fairness::gini(&cam_load.iter().map(|&l| l as f64).collect::<Vec<_>>());
     let mut table = DataTable::new(
         format!(
             "Ext-E: forwarding load per message — shared tree (gini {gini_shared:.2}) vs              per-source trees (gini {gini_cam:.2})"
@@ -337,12 +339,20 @@ pub fn churn(opts: &Options) -> DataTable {
         let mut deliveries = Vec::new();
         if region_split {
             let mut net = DynamicNetwork::converged(
-                space, &members, CamChordProtocol, seed, latency.clone(),
+                space,
+                &members,
+                CamChordProtocol,
+                seed,
+                latency.clone(),
             );
             play_trace(&mut net, &trace, true, &mut deliveries, CamChordProtocol);
         } else {
             let mut net = DynamicNetwork::converged(
-                space, &members, CamKoordeProtocol, seed, latency.clone(),
+                space,
+                &members,
+                CamKoordeProtocol,
+                seed,
+                latency.clone(),
             );
             play_trace(&mut net, &trace, false, &mut deliveries, CamKoordeProtocol);
         }
@@ -435,7 +445,11 @@ pub fn loss(opts: &Options) -> DataTable {
             let mut ratios = Vec::new();
             if region_split {
                 let mut net = DynamicNetwork::converged(
-                    space, &members, CamChordProtocol, seed, latency.clone(),
+                    space,
+                    &members,
+                    CamChordProtocol,
+                    seed,
+                    latency.clone(),
                 );
                 net.sim.set_loss_probability(rate);
                 if repair {
@@ -444,7 +458,11 @@ pub fn loss(opts: &Options) -> DataTable {
                 measure_loss(&mut net, true, repair, &mut ratios);
             } else {
                 let mut net = DynamicNetwork::converged(
-                    space, &members, CamKoordeProtocol, seed, latency.clone(),
+                    space,
+                    &members,
+                    CamKoordeProtocol,
+                    seed,
+                    latency.clone(),
                 );
                 net.sim.set_loss_probability(rate);
                 if repair {
@@ -503,9 +521,13 @@ pub fn theory(opts: &Options) -> DataTable {
             .with_capacity(CapacityAssignment::Uniform { lo: 4, hi })
             .members();
         let caps: Vec<u32> = group.iter().map(|m| m.capacity).collect();
-        let chord = sample_trees(&CamChord::new(group.clone()), opts.sources, opts.sub_seed(1))
-            .avg_path_len
-            .mean();
+        let chord = sample_trees(
+            &CamChord::new(group.clone()),
+            opts.sources,
+            opts.sub_seed(1),
+        )
+        .avg_path_len
+        .mean();
         let koorde = sample_trees(&CamKoorde::new(group), opts.sources, opts.sub_seed(2))
             .avg_path_len
             .mean();
@@ -539,12 +561,12 @@ pub fn tree_stability(opts: &Options) -> DataTable {
     let n = opts.n.min(20_000);
     let trials = 20usize;
     let mut table = DataTable::new(
-        format!(
-            "Ext-K: members (of {n}) whose tree parent changes after one join/leave"
-        ),
+        format!("Ext-K: members (of {n}) whose tree parent changes after one join/leave"),
         "trial",
     );
-    let base = Scenario::paper_default(opts.sub_seed(0xB1)).with_n(n).members();
+    let base = Scenario::paper_default(opts.sub_seed(0xB1))
+        .with_n(n)
+        .members();
     let mut rng = rand::rngs::StdRng::seed_from_u64(opts.sub_seed(0xB2));
 
     let mut chord_join = DataSeries::new("CAM-Chord join");
@@ -643,7 +665,10 @@ pub fn heterogeneity(opts: &Options) -> DataTable {
         ("uniform [400,1000]", BandwidthDist::PAPER),
         ("pareto alpha=3", BandwidthDist::pareto_with_mean(mean, 3.0)),
         ("pareto alpha=2", BandwidthDist::pareto_with_mean(mean, 2.0)),
-        ("pareto alpha=1.5", BandwidthDist::pareto_with_mean(mean, 1.5)),
+        (
+            "pareto alpha=1.5",
+            BandwidthDist::pareto_with_mean(mean, 1.5),
+        ),
     ];
     let mut table = DataTable::new(
         "Ext-J: CAM-Chord throughput improvement under heavy-tailed bandwidths",
@@ -705,7 +730,9 @@ pub fn heterogeneity(opts: &Options) -> DataTable {
 pub fn proximity(opts: &Options) -> DataTable {
     use rand::{Rng, SeedableRng};
     let n = opts.n.min(10_000);
-    let group = Scenario::paper_default(opts.sub_seed(0xA1)).with_n(n).members();
+    let group = Scenario::paper_default(opts.sub_seed(0xA1))
+        .with_n(n)
+        .members();
     let mut rng = rand::rngs::StdRng::seed_from_u64(opts.sub_seed(0xA2));
     let coords: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
     let delay = move |a: usize, b: usize| {

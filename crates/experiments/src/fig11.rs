@@ -28,7 +28,11 @@ pub fn run(opts: &Options) -> DataTable {
             .with_capacity(CapacityAssignment::Uniform { lo: 4, hi })
             .members();
         let measured_mean = group.mean_capacity();
-        let chord = sample_trees(&CamChord::new(group.clone()), opts.sources, opts.sub_seed(1));
+        let chord = sample_trees(
+            &CamChord::new(group.clone()),
+            opts.sources,
+            opts.sub_seed(1),
+        );
         let koorde = sample_trees(&CamKoorde::new(group), opts.sources, opts.sub_seed(2));
         (
             measured_mean,

@@ -65,10 +65,9 @@ pub fn run(opts: &Options) -> DataTable {
             .members();
 
         let cam_x = cam_group.mean_capacity();
-        let cam_chord =
-            sample_trees(&CamChord::new(cam_group.clone()), opts.sources, seed ^ 1)
-                .throughput_kbps
-                .mean();
+        let cam_chord = sample_trees(&CamChord::new(cam_group.clone()), opts.sources, seed ^ 1)
+            .throughput_kbps
+            .mean();
         let cam_koorde = sample_trees(&CamKoorde::new(cam_group), opts.sources, seed ^ 2)
             .throughput_kbps
             .mean();
@@ -83,10 +82,9 @@ pub fn run(opts: &Options) -> DataTable {
         )
         .throughput_kbps
         .mean();
-        let koorde_uniform =
-            sample_trees(&CamKoorde::new(base_group), opts.sources, seed ^ 5)
-                .throughput_kbps
-                .mean();
+        let koorde_uniform = sample_trees(&CamKoorde::new(base_group), opts.sources, seed ^ 5)
+            .throughput_kbps
+            .mean();
         (
             cam_x,
             cam_chord,
@@ -146,7 +144,11 @@ mod tests {
         assert_eq!(table.series.len(), 6);
         // Compare near degree 10 (CAM x is the measured mean capacity,
         // which lands close to the configured 10).
-        let cam = table.series_named("CAM-Chord").unwrap().y_near(10.0).unwrap();
+        let cam = table
+            .series_named("CAM-Chord")
+            .unwrap()
+            .y_near(10.0)
+            .unwrap();
         let chord = table.series_named("Chord").unwrap().y_near(10.0).unwrap();
         assert!(
             cam > chord * 1.3,
@@ -193,7 +195,11 @@ mod tests {
         opts.n = 3_000;
         opts.sources = 3;
         let table = run(&opts);
-        let cam = table.series_named("CAM-Chord").unwrap().y_near(7.0).unwrap();
+        let cam = table
+            .series_named("CAM-Chord")
+            .unwrap()
+            .y_near(7.0)
+            .unwrap();
         let chord = table.series_named("Chord").unwrap().y_near(7.0).unwrap();
         let ratio = cam / chord;
         assert!(

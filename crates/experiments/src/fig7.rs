@@ -67,17 +67,14 @@ pub fn run(opts: &Options) -> DataTable {
         )
         .throughput_kbps
         .mean();
-        let cam_koorde = sample_trees(&CamKoorde::new(cam_group), opts.sources, opts.sub_seed(3))
+        let cam_koorde =
+            sample_trees(&CamKoorde::new(cam_group), opts.sources, opts.sub_seed(3))
+                .throughput_kbps
+                .mean();
+        // The Koorde baseline is uniform-degree flooding (see fig6 docs).
+        let koorde = sample_trees(&CamKoorde::new(base_group), opts.sources, opts.sub_seed(4))
             .throughput_kbps
             .mean();
-        // The Koorde baseline is uniform-degree flooding (see fig6 docs).
-        let koorde = sample_trees(
-            &CamKoorde::new(base_group),
-            opts.sources,
-            opts.sub_seed(4),
-        )
-        .throughput_kbps
-        .mean();
         (cam_chord / chord, cam_koorde / koorde)
     });
 

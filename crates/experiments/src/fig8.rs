@@ -32,7 +32,11 @@ pub fn run(opts: &Options) -> DataTable {
                 max: 4096,
             })
             .members();
-        let chord = sample_trees(&CamChord::new(group.clone()), opts.sources, opts.sub_seed(1));
+        let chord = sample_trees(
+            &CamChord::new(group.clone()),
+            opts.sources,
+            opts.sub_seed(1),
+        );
         let koorde = sample_trees(&CamKoorde::new(group), opts.sources, opts.sub_seed(2));
         (
             (chord.throughput_kbps.mean(), chord.avg_path_len.mean()),

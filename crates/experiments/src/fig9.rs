@@ -16,16 +16,11 @@ pub const RANGES: [u32; 9] = [4, 6, 8, 10, 20, 40, 60, 100, 200];
 
 /// Runs Figure 9: one distribution per capacity range.
 pub fn run(opts: &Options) -> DataTable {
-    run_with(opts, &RANGES, |group| CamChord::new(group), "CAM-Chord")
+    run_with(opts, &RANGES, CamChord::new, "CAM-Chord")
 }
 
 /// Shared engine for Figures 9 and 10.
-pub(crate) fn run_with<O, F>(
-    opts: &Options,
-    ranges: &[u32],
-    make: F,
-    system: &str,
-) -> DataTable
+pub(crate) fn run_with<O, F>(opts: &Options, ranges: &[u32], make: F, system: &str) -> DataTable
 where
     O: cam_overlay::StaticOverlay,
     F: Fn(cam_overlay::MemberSet) -> O + Sync,

@@ -1,7 +1,16 @@
 //! Shared experiment plumbing: options, tree sampling, and sweeps.
+//!
+//! The two parallel entry points — [`parallel_sweep`] over experiment
+//! configurations and [`sample_trees`] over multicast sources — both run on
+//! a fixed-size pool of scoped worker threads (one per available core) and
+//! are *deterministic*: their output is bit-identical to the serial
+//! equivalent, because work items are deterministic functions of their
+//! input and results are folded in input order on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cam_metrics::TreeAggregator;
-use cam_overlay::StaticOverlay;
+use cam_overlay::{MulticastTree, StaticOverlay};
 use rand::{Rng, SeedableRng};
 
 /// Knobs shared by all experiments.
@@ -42,51 +51,160 @@ impl Options {
     }
 }
 
+/// Below this group size a multicast tree is too cheap to be worth shipping
+/// to the worker pool; [`sample_trees`] stays on the calling thread.
+const PARALLEL_SOURCES_MIN_N: usize = 2_000;
+
+/// Samples `k` distinct member indices from `0..n` uniformly (`k` clamped
+/// to `n`), in draw order — a sparse partial Fisher–Yates shuffle, so the
+/// cost is `O(k)` regardless of `n` and every `k`-subset is equally likely.
+///
+/// Replaces the old bounded-retry sampler, which could repeat a source when
+/// 16 consecutive redraws collided.
+pub fn sample_distinct_sources(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let k = k.min(n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Sparse view of the Fisher–Yates array: absent key i means slot i
+    // still holds value i.
+    let mut displaced: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let vj = displaced.get(&j).copied().unwrap_or(j);
+        let vi = displaced.get(&i).copied().unwrap_or(i);
+        displaced.insert(j, vi);
+        out.push(vj);
+    }
+    out
+}
+
 /// Builds `sources` multicast trees from distinct random sources of the
 /// overlay and aggregates their statistics.
+///
+/// On groups of at least [`PARALLEL_SOURCES_MIN_N`] members the trees are
+/// built on the worker pool; the aggregate is bit-identical to
+/// [`sample_trees_serial`] either way, because tree construction takes no
+/// RNG and aggregation happens in source order on the calling thread.
 ///
 /// # Panics
 ///
 /// Panics if the overlay has no members.
-pub fn sample_trees(overlay: &dyn StaticOverlay, sources: usize, seed: u64) -> TreeAggregator {
-    let n = overlay.members().len();
-    assert!(n > 0, "empty overlay");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+pub fn sample_trees<O: StaticOverlay + ?Sized>(
+    overlay: &O,
+    sources: usize,
+    seed: u64,
+) -> TreeAggregator {
+    let srcs = sample_distinct_sources(overlay.members().len(), sources, seed);
+    let trees: Vec<MulticastTree> =
+        if overlay.members().len() >= PARALLEL_SOURCES_MIN_N && srcs.len() >= 2 {
+            parallel_sweep(srcs, |&src| overlay.multicast_tree(src))
+        } else {
+            srcs.iter()
+                .map(|&src| overlay.multicast_tree(src))
+                .collect()
+        };
+    aggregate(overlay, &trees)
+}
+
+/// [`sample_trees`] pinned to the calling thread — the reference the
+/// determinism tests compare against.
+///
+/// # Panics
+///
+/// Panics if the overlay has no members.
+pub fn sample_trees_serial<O: StaticOverlay + ?Sized>(
+    overlay: &O,
+    sources: usize,
+    seed: u64,
+) -> TreeAggregator {
+    let srcs = sample_distinct_sources(overlay.members().len(), sources, seed);
+    let trees: Vec<MulticastTree> = srcs
+        .iter()
+        .map(|&src| overlay.multicast_tree(src))
+        .collect();
+    aggregate(overlay, &trees)
+}
+
+fn aggregate<O: StaticOverlay + ?Sized>(
+    overlay: &O,
+    trees: &[MulticastTree],
+) -> TreeAggregator {
+    assert!(!overlay.members().is_empty(), "empty overlay");
     let mut agg = TreeAggregator::new();
-    let mut used = std::collections::HashSet::new();
-    for _ in 0..sources {
-        let mut src = rng.gen_range(0..n);
-        let mut spins = 0;
-        while !used.insert(src) && spins < 16 {
-            src = rng.gen_range(0..n);
-            spins += 1;
-        }
-        let tree = overlay.multicast_tree(src);
-        debug_assert!(tree.is_complete(), "incomplete multicast from {src}");
-        agg.record(overlay.members(), &tree);
+    for tree in trees {
+        debug_assert!(
+            tree.is_complete(),
+            "incomplete multicast from {}",
+            tree.source()
+        );
+        agg.record(overlay.members(), tree);
     }
     agg
 }
 
-/// Runs `f` over each item of `inputs` in parallel (scoped threads),
+/// Runs `f` over each item of `inputs` on a fixed-size worker pool (one
+/// scoped thread per available core, never more than there are items),
 /// preserving input order in the output.
+///
+/// Workers claim items through a shared atomic counter, so uneven item
+/// costs self-balance. Replaces the previous thread-per-input spawn, which
+/// created `inputs.len()` OS threads regardless of core count.
 pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let mut out: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (slot, input) in out.iter_mut().zip(&inputs) {
-            let f = &f;
-            scope.spawn(move |_| {
-                *slot = Some(f(input));
-            });
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    parallel_sweep_with_workers(inputs, f, workers)
+}
+
+/// [`parallel_sweep`] with an explicit pool size — lets the determinism
+/// tests exercise the pooled path even on single-core machines (where
+/// [`parallel_sweep`] would fall back to the serial loop).
+pub fn parallel_sweep_with_workers<I, O, F>(inputs: Vec<I>, f: F, workers: usize) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&inputs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(result);
+            }
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_iter().map(|o| o.expect("worker filled slot")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,98 @@
+//! Pooled parallelism must be invisible in the results.
+//!
+//! The overhaul's contract: [`sample_trees`] and [`parallel_sweep`] produce
+//! output *bit-identical* to their serial equivalents, regardless of worker
+//! count or scheduling. `TreeAggregator`'s `PartialEq` compares every
+//! accumulated float exactly, so these tests catch any reordering of
+//! floating-point folds, not just gross divergence.
+
+use cam_core::{CamChord, CamKoorde};
+use cam_experiments::runner::{
+    parallel_sweep, parallel_sweep_with_workers, sample_distinct_sources, sample_trees,
+    sample_trees_serial,
+};
+use cam_overlay::StaticOverlay;
+use cam_workload::Scenario;
+
+/// Large enough that `sample_trees` takes the pooled path (the threshold is
+/// 2,000 members).
+const N: usize = 2_500;
+
+#[test]
+fn sample_trees_pooled_matches_serial_cam_chord() {
+    let overlay = CamChord::new(Scenario::paper_default(21).with_n(N).members());
+    for seed in [0u64, 7, 0xDEAD_BEEF] {
+        let pooled = sample_trees(&overlay, 4, seed);
+        let serial = sample_trees_serial(&overlay, 4, seed);
+        assert_eq!(pooled, serial, "seed {seed}");
+        assert_eq!(pooled.trees(), 4);
+    }
+}
+
+#[test]
+fn sample_trees_pooled_matches_serial_cam_koorde() {
+    let overlay = CamKoorde::new(Scenario::paper_default(22).with_n(N).members());
+    let pooled = sample_trees(&overlay, 3, 99);
+    let serial = sample_trees_serial(&overlay, 3, 99);
+    assert_eq!(pooled, serial);
+}
+
+/// Forcing various pool widths (beyond what this machine reports) must not
+/// change the output — single-core CI would otherwise never exercise the
+/// claim-loop merge.
+#[test]
+fn pooled_sweep_is_bit_identical_for_any_worker_count() {
+    let overlay = CamChord::new(Scenario::paper_default(23).with_n(800).members());
+    let sources: Vec<usize> = (0..16).map(|i| i * 50).collect();
+    let reference: Vec<u64> = sources
+        .iter()
+        .map(|&s| overlay.multicast_tree(s).stats().depth as u64)
+        .collect();
+    for workers in [1usize, 2, 3, 8, 64] {
+        let pooled = parallel_sweep_with_workers(
+            sources.clone(),
+            |&s| overlay.multicast_tree(s).stats().depth as u64,
+            workers,
+        );
+        assert_eq!(pooled, reference, "workers={workers}");
+    }
+}
+
+#[test]
+fn auto_sized_sweep_matches_serial_map() {
+    let out = parallel_sweep((0..100u64).collect(), |&x| x.wrapping_mul(x) ^ 13);
+    let expected: Vec<u64> = (0..100u64).map(|x| x.wrapping_mul(x) ^ 13).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn distinct_sources_are_distinct_and_stable() {
+    for (n, k) in [(10usize, 10usize), (100, 5), (2_500, 5), (3, 7)] {
+        let a = sample_distinct_sources(n, k, 42);
+        let b = sample_distinct_sources(n, k, 42);
+        assert_eq!(a, b, "same seed must reproduce the same draw");
+        assert_eq!(a.len(), k.min(n));
+        let uniq: std::collections::BTreeSet<usize> = a.iter().copied().collect();
+        assert_eq!(
+            uniq.len(),
+            a.len(),
+            "sources must be distinct (n={n}, k={k})"
+        );
+        assert!(a.iter().all(|&s| s < n));
+    }
+    assert_ne!(
+        sample_distinct_sources(1_000, 5, 1),
+        sample_distinct_sources(1_000, 5, 2),
+        "different seeds should (overwhelmingly) differ"
+    );
+}
+
+/// Exhaustive distinctness on a small space: even k == n is a permutation.
+#[test]
+fn distinct_sources_full_permutation() {
+    for seed in 0..20u64 {
+        let mut s = sample_distinct_sources(8, 8, seed);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>(), "seed {seed}");
+    }
+}

@@ -146,32 +146,32 @@ impl StaticOverlay for Koorde {
                 };
             }
 
-            let next = if injected < b && (imaginary == x || space.in_segment(imaginary, x, succ))
-            {
-                // De Bruijn hop: shift the next digit of the key into the
-                // imaginary node and follow the real de Bruijn pointer (the
-                // node preceding k·x).
-                let width = s.min(b - injected);
-                let digit = (key.value() >> (b - injected - width)) & ((1u64 << width) - 1);
-                imaginary = space.reduce((imaginary.value() << width) | digit);
-                injected += width;
-                // Degree-k Koorde keeps pointers to the k consecutive nodes
-                // starting at pred(k·x) precisely so this hop can land on
-                // the node whose segment contains the new imaginary
-                // (imaginary ∈ (k·x, k·succ + k] is spanned by those k
-                // pointers); jump straight to it.
-                let idx = self.group.predecessor_idx(imaginary);
-                if idx == cur {
-                    succ_idx
+            let next =
+                if injected < b && (imaginary == x || space.in_segment(imaginary, x, succ)) {
+                    // De Bruijn hop: shift the next digit of the key into the
+                    // imaginary node and follow the real de Bruijn pointer (the
+                    // node preceding k·x).
+                    let width = s.min(b - injected);
+                    let digit = (key.value() >> (b - injected - width)) & ((1u64 << width) - 1);
+                    imaginary = space.reduce((imaginary.value() << width) | digit);
+                    injected += width;
+                    // Degree-k Koorde keeps pointers to the k consecutive nodes
+                    // starting at pred(k·x) precisely so this hop can land on
+                    // the node whose segment contains the new imaginary
+                    // (imaginary ∈ (k·x, k·succ + k] is spanned by those k
+                    // pointers); jump straight to it.
+                    let idx = self.group.predecessor_idx(imaginary);
+                    if idx == cur {
+                        succ_idx
+                    } else {
+                        idx
+                    }
                 } else {
-                    idx
-                }
-            } else {
-                // Walk the ring: either catching up to the imaginary or,
-                // once all bits are injected (imaginary == key), homing in
-                // on the owner.
-                succ_idx
-            };
+                    // Walk the ring: either catching up to the imaginary or,
+                    // once all bits are injected (imaginary == key), homing in
+                    // on the owner.
+                    succ_idx
+                };
             cur = next;
             path.push(cur);
             debug_assert!(

@@ -10,7 +10,11 @@ use cam_overlay::{MemberSet, MulticastTree};
 use crate::{Histogram, Summary};
 
 /// Accumulates tree metrics over multicast sources.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every accumulated field exactly (bit-level for the
+/// floating-point summaries) — the determinism tests use it to check that
+/// parallel and serial sampling produce identical aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TreeAggregator {
     /// Hop-count distribution pooled over all trees (Figures 9–10).
     pub path_lengths: Histogram,

@@ -50,6 +50,7 @@ pub trait DhtProtocol: Clone {
     /// `key`, or `None` if this node believes its immediate successor owns
     /// `key`. `state` is the request's routing state (see
     /// [`DhtProtocol::initial_state`]); implementations may update it.
+    #[allow(clippy::too_many_arguments)]
     fn next_hop(
         &self,
         space: IdSpace,
@@ -378,7 +379,11 @@ impl<P: DhtProtocol> DhtActor<P> {
     /// actor into the simulation.
     pub fn start_maintenance(ctx_sim: &mut Simulation<Self>, actor: ActorId, jitter: u64) {
         let base = Duration::from_millis(500);
-        ctx_sim.post_timer(actor, base + Duration::from_millis(jitter % 250), TIMER_STABILIZE);
+        ctx_sim.post_timer(
+            actor,
+            base + Duration::from_millis(jitter % 250),
+            TIMER_STABILIZE,
+        );
         ctx_sim.post_timer(
             actor,
             base.saturating_mul(2) + Duration::from_millis(jitter % 333),
@@ -486,9 +491,9 @@ impl<P: DhtProtocol> DhtActor<P> {
             return;
         };
         let neighbors = self.neighbor_members();
-        for (child, child_region) in
-            self.protocol
-                .multicast_children(self.space, &self.me, &neighbors, &succ, region)
+        for (child, child_region) in self
+            .protocol
+            .multicast_children(self.space, &self.me, &neighbors, &succ, region)
         {
             self.send_to_member(
                 ctx,
@@ -597,7 +602,8 @@ impl<P: DhtProtocol> DhtActor<P> {
                 }
                 // …and re-resolve the slot.
                 let req_id = self.fresh_req_id();
-                self.pending.insert(req_id, PendingLookup::FixFinger(target));
+                self.pending
+                    .insert(req_id, PendingLookup::FixFinger(target));
                 let state = self.protocol.initial_state(self.space, &self.me, target);
                 self.handle_lookup(ctx, target, req_id, me_actor, 0, state);
             }
@@ -639,12 +645,7 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
                 let _ = from;
                 let mut successors = Vec::with_capacity(SUCCESSOR_LIST_LEN);
                 successors.push(self.me);
-                successors.extend(
-                    self.successors
-                        .iter()
-                        .copied()
-                        .take(SUCCESSOR_LIST_LEN - 1),
-                );
+                successors.extend(self.successors.iter().copied().take(SUCCESSOR_LIST_LEN - 1));
                 ctx.send(
                     from,
                     DhtMsg::StabilizeReply {
@@ -720,11 +721,7 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
                 // Push what they're missing…
                 for (&p, &hops) in &self.seen_payloads {
                     if !their.contains(&p) {
-                        let data = self
-                            .delivered_data
-                            .get(&p)
-                            .cloned()
-                            .unwrap_or_default();
+                        let data = self.delivered_data.get(&p).cloned().unwrap_or_default();
                         ctx.send(
                             from,
                             DhtMsg::PayloadPush {
@@ -747,11 +744,7 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
             DhtMsg::PayloadPullReq { want } => {
                 for p in want {
                     if let Some(&hops) = self.seen_payloads.get(&p) {
-                        let data = self
-                            .delivered_data
-                            .get(&p)
-                            .cloned()
-                            .unwrap_or_default();
+                        let data = self.delivered_data.get(&p).cloned().unwrap_or_default();
                         ctx.send(
                             from,
                             DhtMsg::PayloadPush {
@@ -768,8 +761,10 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
                 hops,
                 data,
             } => {
-                if !self.seen_payloads.contains_key(&payload) {
-                    self.seen_payloads.insert(payload, hops);
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.seen_payloads.entry(payload)
+                {
+                    e.insert(hops);
                     self.received_log.push((payload, hops));
                     self.delivered_data.insert(payload, data);
                 }
@@ -804,7 +799,8 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
                         return;
                     }
                     let neighbors = self.neighbor_members();
-                    let mut state = self.protocol.initial_state(self.space, &self.me, joiner.id);
+                    let mut state =
+                        self.protocol.initial_state(self.space, &self.me, joiner.id);
                     let next = self
                         .protocol
                         .next_hop(

@@ -42,7 +42,11 @@ use cam_ring::Id;
 /// it directly makes 100,000-node experiments (the paper's default group
 /// size) tractable. Implementations exist for Chord, Koorde, CAM-Chord and
 /// CAM-Koorde.
-pub trait StaticOverlay {
+///
+/// `Send + Sync` is required so the experiment harness can fan one resolved
+/// overlay out to a worker pool (overlays are immutable once built; all
+/// implementations are plain data).
+pub trait StaticOverlay: Send + Sync {
     /// The group this overlay interconnects.
     fn members(&self) -> &MemberSet;
 

@@ -78,8 +78,15 @@ impl std::error::Error for BuildMemberSetError {}
 ///
 /// Provides the ring-oracle queries every overlay needs when resolving its
 /// neighbor tables: *owner* (the paper's `x̂` — the node responsible for an
-/// identifier), *successor*, and *predecessor*, each answered by binary
-/// search in `O(log n)`.
+/// identifier), *successor*, and *predecessor*.
+///
+/// Resolution is `O(1)` expected time: construction precomputes a bucket
+/// index that maps the high bits of an identifier to the first member at or
+/// past that bucket's start, so a query is one table lookup plus a short
+/// forward scan (expected length ≤ 1 for hash-uniform identifiers, since
+/// there are at least as many buckets as members). The original `O(log n)`
+/// binary-search forms remain available as `*_binsearch` — the bench
+/// harness and property tests compare the two.
 ///
 /// # Example
 ///
@@ -107,6 +114,11 @@ impl std::error::Error for BuildMemberSetError {}
 pub struct MemberSet {
     space: IdSpace,
     members: Vec<Member>,
+    /// `buckets[b]` is the index of the first member whose identifier is
+    /// `≥ b << bucket_shift`; a trailing sentinel entry equals `len()`.
+    buckets: Vec<u32>,
+    /// Identifier high-bits selecting a bucket: `bucket = id >> shift`.
+    bucket_shift: u32,
 }
 
 impl MemberSet {
@@ -134,7 +146,41 @@ impl MemberSet {
                 return Err(BuildMemberSetError::DuplicateId(w[0].id));
             }
         }
-        Ok(MemberSet { space, members })
+        Ok(MemberSet::from_sorted(space, members))
+    }
+
+    /// Builds the group plus its bucket index from already-sorted,
+    /// already-validated members.
+    fn from_sorted(space: IdSpace, members: Vec<Member>) -> MemberSet {
+        let (buckets, bucket_shift) = Self::build_bucket_index(space, &members);
+        MemberSet {
+            space,
+            members,
+            buckets,
+            bucket_shift,
+        }
+    }
+
+    /// Computes the bucket index: one bucket per `2^shift`-wide identifier
+    /// span, at least as many buckets as members, so a resolution query
+    /// scans at most the (expected ≤ 1) members sharing the key's bucket.
+    fn build_bucket_index(space: IdSpace, members: &[Member]) -> (Vec<u32>, u32) {
+        let n = members.len();
+        // n ≤ space.size() because identifiers are unique, so the rounded-up
+        // power of two never exceeds 2^bits and the shift never underflows.
+        let bucket_count = n.next_power_of_two();
+        let shift = space.bits() - bucket_count.trailing_zeros();
+        let mut buckets = Vec::with_capacity(bucket_count + 1);
+        let mut i = 0usize;
+        for b in 0..bucket_count as u64 {
+            let start = b << shift;
+            while i < n && members[i].id.value() < start {
+                i += 1;
+            }
+            buckets.push(i as u32);
+        }
+        buckets.push(n as u32);
+        (buckets, shift)
     }
 
     /// The identifier space the group lives in.
@@ -170,10 +216,22 @@ impl MemberSet {
         self.members.iter()
     }
 
+    /// First member index `i` with `members[i].id ≥ k` (i.e. the
+    /// partition point of `id < k`), via the bucket index: `O(1)` expected.
+    #[inline]
+    fn lower_bound(&self, k: Id) -> usize {
+        let mut i = self.buckets[(k.value() >> self.bucket_shift) as usize] as usize;
+        while i < self.members.len() && self.members[i].id < k {
+            i += 1;
+        }
+        i
+    }
+
     /// Index of the *owner* of identifier `k` — the paper's `k̂`: the node
-    /// whose identifier is `k`, or else `successor(k)`.
+    /// whose identifier is `k`, or else `successor(k)`. `O(1)` expected.
+    #[inline]
     pub fn owner_idx(&self, k: Id) -> usize {
-        let i = self.members.partition_point(|m| m.id < k);
+        let i = self.lower_bound(k);
         if i == self.members.len() {
             0
         } else {
@@ -182,9 +240,13 @@ impl MemberSet {
     }
 
     /// Index of `successor(k)`: the first node strictly clockwise after
-    /// identifier `k`.
+    /// identifier `k`. `O(1)` expected.
+    #[inline]
     pub fn successor_idx(&self, k: Id) -> usize {
-        let i = self.members.partition_point(|m| m.id <= k);
+        let mut i = self.lower_bound(k);
+        if i < self.members.len() && self.members[i].id == k {
+            i += 1;
+        }
         if i == self.members.len() {
             0
         } else {
@@ -193,8 +255,41 @@ impl MemberSet {
     }
 
     /// Index of `predecessor(k)`: the last node strictly counter-clockwise
-    /// before identifier `k`.
+    /// before identifier `k`. `O(1)` expected.
+    #[inline]
     pub fn predecessor_idx(&self, k: Id) -> usize {
+        let i = self.lower_bound(k);
+        if i == 0 {
+            self.members.len() - 1
+        } else {
+            i - 1
+        }
+    }
+
+    /// [`owner_idx`](Self::owner_idx) by `O(log n)` binary search, without
+    /// the bucket index. Reference implementation for tests and benches.
+    pub fn owner_idx_binsearch(&self, k: Id) -> usize {
+        let i = self.members.partition_point(|m| m.id < k);
+        if i == self.members.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// [`successor_idx`](Self::successor_idx) by `O(log n)` binary search.
+    pub fn successor_idx_binsearch(&self, k: Id) -> usize {
+        let i = self.members.partition_point(|m| m.id <= k);
+        if i == self.members.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// [`predecessor_idx`](Self::predecessor_idx) by `O(log n)` binary
+    /// search.
+    pub fn predecessor_idx_binsearch(&self, k: Id) -> usize {
         let i = self.members.partition_point(|m| m.id < k);
         if i == 0 {
             self.members.len() - 1
@@ -241,10 +336,7 @@ impl MemberSet {
             Err(pos) => {
                 let mut members = self.members.clone();
                 members.insert(pos, member);
-                Ok(MemberSet {
-                    space: self.space,
-                    members,
-                })
+                Ok(MemberSet::from_sorted(self.space, members))
             }
         }
     }
@@ -258,10 +350,7 @@ impl MemberSet {
         let pos = self.members.binary_search_by_key(&id, |m| m.id).ok()?;
         let mut members = self.members.clone();
         members.remove(pos);
-        Some(MemberSet {
-            space: self.space,
-            members,
-        })
+        Some(MemberSet::from_sorted(self.space, members))
     }
 
     /// Mean declared capacity of the group.
@@ -354,8 +443,15 @@ mod tests {
         // resolve to node 4; x_{1,2}=6 → 8; x_{2,1}=9 → 13; x_{2,2}=18 → 18;
         // x_{3,1}=27 → 29.
         let g = fig2_group();
-        for (ident, owner) in [(1u64, 4u64), (2, 4), (3, 4), (6, 8), (9, 13), (18, 18), (27, 29)]
-        {
+        for (ident, owner) in [
+            (1u64, 4u64),
+            (2, 4),
+            (3, 4),
+            (6, 8),
+            (9, 13),
+            (18, 18),
+            (27, 29),
+        ] {
             assert_eq!(
                 g.member(g.owner_idx(Id(ident))).id,
                 Id(owner),

@@ -8,16 +8,41 @@
 //! off this record.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::MemberSet;
 
+/// Sentinel for "no parent" / "not reached" in the flat arrays.
+const NONE: u32 = u32::MAX;
+
+/// Compressed-sparse-row children lists: member `m`'s children are
+/// `children[offsets[m]..offsets[m + 1]]`, in delivery order.
+#[derive(Debug, Clone)]
+struct Csr {
+    offsets: Vec<u32>,
+    children: Vec<usize>,
+}
+
 /// The implicit dissemination tree of one multicast, over member indices.
+///
+/// Stored as flat arrays (`u32` with a sentinel instead of
+/// `Vec<Option<usize>>`, a delivery log instead of per-member child
+/// vectors), so building a tree performs a constant number of allocations
+/// regardless of shape. Children lists are materialized lazily into a
+/// CSR layout the first time [`children_of`](Self::children_of) is called.
 #[derive(Debug, Clone)]
 pub struct MulticastTree {
     source: usize,
-    parent: Vec<Option<usize>>,
-    hops: Vec<Option<u32>>,
-    children: Vec<Vec<usize>>,
+    /// `parent[m]` = delivering member, or [`NONE`].
+    parent: Vec<u32>,
+    /// `hops[m]` = distance from the source, or [`NONE`] when unreached.
+    hops: Vec<u32>,
+    /// `fanout[m]` = number of direct children of `m`.
+    fanout: Vec<u32>,
+    /// `(parent, child)` pairs in delivery order.
+    deliveries: Vec<(u32, u32)>,
+    /// Lazily-built children lists; replaced with a fresh cell on mutation.
+    children: OnceLock<Csr>,
     delivered: usize,
 }
 
@@ -30,13 +55,16 @@ impl MulticastTree {
     pub fn new(n: usize, source: usize) -> Self {
         assert!(n > 0, "empty group");
         assert!(source < n, "source out of range");
-        let mut hops = vec![None; n];
-        hops[source] = Some(0);
+        assert!(n < NONE as usize, "group too large for u32 indices");
+        let mut hops = vec![NONE; n];
+        hops[source] = 0;
         MulticastTree {
             source,
-            parent: vec![None; n],
+            parent: vec![NONE; n],
             hops,
-            children: vec![Vec::new(); n],
+            fanout: vec![0; n],
+            deliveries: Vec::new(),
+            children: OnceLock::new(),
             delivered: 1,
         }
     }
@@ -55,15 +83,46 @@ impl MulticastTree {
     /// are out of range, or on a self-loop.
     pub fn deliver(&mut self, parent: usize, child: usize) -> bool {
         assert_ne!(parent, child, "self-loop delivery");
-        let parent_hops = self.hops[parent].expect("parent has not received the message");
-        if self.hops[child].is_some() {
+        let parent_hops = self.hops[parent];
+        assert_ne!(parent_hops, NONE, "parent has not received the message");
+        if self.hops[child] != NONE {
             return false;
         }
-        self.hops[child] = Some(parent_hops + 1);
-        self.parent[child] = Some(parent);
-        self.children[parent].push(child);
+        self.hops[child] = parent_hops + 1;
+        self.parent[child] = parent as u32;
+        self.fanout[parent] += 1;
+        self.deliveries.push((parent as u32, child as u32));
+        if self.children.get().is_some() {
+            self.children = OnceLock::new();
+        }
         self.delivered += 1;
         true
+    }
+
+    /// The children CSR, built on first use from the delivery log.
+    ///
+    /// A counting sort over `deliveries` groups children by parent while
+    /// keeping each parent's children in delivery order (the log is already
+    /// in delivery order, and placement below is stable).
+    fn csr(&self) -> &Csr {
+        self.children.get_or_init(|| {
+            let n = self.parent.len();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut acc = 0u32;
+            offsets.push(0);
+            for &f in &self.fanout {
+                acc += f;
+                offsets.push(acc);
+            }
+            let mut next = offsets.clone();
+            let mut children = vec![0usize; self.deliveries.len()];
+            for &(p, c) in &self.deliveries {
+                let slot = &mut next[p as usize];
+                children[*slot as usize] = c as usize;
+                *slot += 1;
+            }
+            Csr { offsets, children }
+        })
     }
 
     /// The root of the tree.
@@ -99,32 +158,47 @@ impl MulticastTree {
     /// Hop distance from the source to `member`, if it was reached.
     #[inline]
     pub fn hops_to(&self, member: usize) -> Option<u32> {
-        self.hops[member]
+        match self.hops[member] {
+            NONE => None,
+            h => Some(h),
+        }
     }
 
     /// The member that delivered to `member` (`None` for the source and for
     /// unreached members).
     #[inline]
     pub fn parent_of(&self, member: usize) -> Option<usize> {
-        self.parent[member]
+        match self.parent[member] {
+            NONE => None,
+            p => Some(p as usize),
+        }
     }
 
-    /// Direct children of `member` in the tree.
+    /// Direct children of `member` in the tree, in delivery order.
     #[inline]
     pub fn children_of(&self, member: usize) -> &[usize] {
-        &self.children[member]
+        let csr = self.csr();
+        &csr.children[csr.offsets[member] as usize..csr.offsets[member + 1] as usize]
     }
 
     /// Number of direct children (the member's multicast out-degree).
     #[inline]
     pub fn fanout(&self, member: usize) -> usize {
-        self.children[member].len()
+        self.fanout[member] as usize
     }
 
     /// Children lists for the whole group — the input shape expected by
     /// `cam_sim::bandwidth::simulate_stream`.
     pub fn children_vec(&self) -> Vec<Vec<usize>> {
-        self.children.clone()
+        let mut out: Vec<Vec<usize>> = self
+            .fanout
+            .iter()
+            .map(|&f| Vec::with_capacity(f as usize))
+            .collect();
+        for &(p, c) in &self.deliveries {
+            out[p as usize].push(c as usize);
+        }
+        out
     }
 
     /// Computes summary statistics of the tree.
@@ -132,8 +206,7 @@ impl MulticastTree {
         let mut hist: Vec<u64> = Vec::new();
         let mut total_hops = 0u64;
         let mut max_depth = 0u32;
-        for h in self.hops.iter().flatten() {
-            let h = *h;
+        for h in self.hops.iter().copied().filter(|&h| h != NONE) {
             if hist.len() <= h as usize {
                 hist.resize(h as usize + 1, 0);
             }
@@ -192,15 +265,17 @@ impl MulticastTree {
             return Err("group/tree size mismatch".into());
         }
         for m in 0..self.len() {
-            match (self.hops[m], self.parent[m]) {
+            match (self.hops_to(m), self.parent_of(m)) {
                 (Some(0), None) if m == self.source => {}
                 (Some(0), _) => return Err(format!("non-source member {m} at hop 0")),
                 (Some(h), Some(p)) => {
-                    let ph = self.hops[p].ok_or_else(|| format!("parent {p} unreached"))?;
+                    let ph = self
+                        .hops_to(p)
+                        .ok_or_else(|| format!("parent {p} unreached"))?;
                     if ph + 1 != h {
                         return Err(format!("hop mismatch at {m}: {h} != {ph}+1"));
                     }
-                    if !self.children[p].contains(&m) {
+                    if !self.children_of(p).contains(&m) {
                         return Err(format!("child link missing {p}→{m}"));
                     }
                 }
@@ -211,9 +286,7 @@ impl MulticastTree {
             let d = self.fanout(m);
             let c = group.member(m).capacity as usize;
             if d > c {
-                return Err(format!(
-                    "member {m} exceeds capacity: {d} children > c={c}"
-                ));
+                return Err(format!("member {m} exceeds capacity: {d} children > c={c}"));
             }
         }
         Ok(())
@@ -248,7 +321,10 @@ impl fmt::Display for TreeStats {
         write!(
             f,
             "delivered {}/{} depth {} avg-path {:.2} avg-children {:.2}",
-            self.delivered, self.group_size, self.depth, self.avg_path_len,
+            self.delivered,
+            self.group_size,
+            self.depth,
+            self.avg_path_len,
             self.avg_children_per_internal
         )
     }
@@ -346,7 +422,7 @@ mod tests {
         t.deliver(0, 1); // node id=1 (idx 0) sends to idx 1
         t.deliver(0, 2);
         t.deliver(1, 3); // idx1 (B=400) has 1 child → 400
-        // idx0: 1000/2 = 500; idx1: 400/1 = 400 → bottleneck 400.
+                         // idx0: 1000/2 = 500; idx1: 400/1 = 400 → bottleneck 400.
         assert_eq!(t.bottleneck_throughput_kbps(&g), 400.0);
         t.check_invariants(&g).unwrap();
     }
@@ -378,11 +454,7 @@ mod tests {
     fn single_member_tree() {
         let t = MulticastTree::new(1, 0);
         assert!(t.is_complete());
-        let g = MemberSet::new(
-            IdSpace::new(5),
-            vec![Member::with_capacity(Id(3), 2)],
-        )
-        .unwrap();
+        let g = MemberSet::new(IdSpace::new(5), vec![Member::with_capacity(Id(3), 2)]).unwrap();
         assert_eq!(t.bottleneck_throughput_kbps(&g), f64::INFINITY);
     }
 }

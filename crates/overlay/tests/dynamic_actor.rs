@@ -64,7 +64,10 @@ impl DhtProtocol for MiniRing {
         cuts.dedup();
         let mut out = Vec::new();
         for (i, &c) in cuts.iter().enumerate() {
-            let end = cuts.get(i + 1).map(|&n| space.sub(n, 1)).unwrap_or(region.to);
+            let end = cuts
+                .get(i + 1)
+                .map(|&n| space.sub(n, 1))
+                .unwrap_or(region.to);
             out.push((c, Some(Segment::new(c, end))));
         }
         out
@@ -141,16 +144,19 @@ fn fingers_pointing_at_dead_nodes_get_pruned() {
     let m = members(40);
     let mut net = DynamicNetwork::converged(SPACE, &m, MiniRing, 4, wan());
     // Kill a quarter of the ring.
-    let victims: Vec<ActorId> = net.actors().iter().skip(2).step_by(4).map(|(_, a)| *a).collect();
+    let victims: Vec<ActorId> = net
+        .actors()
+        .iter()
+        .skip(2)
+        .step_by(4)
+        .map(|(_, a)| *a)
+        .collect();
     for v in &victims {
         net.sim.kill(*v);
     }
     net.sim.run_until(net.sim.now() + Duration::from_secs(60));
-    let live: std::collections::HashSet<u64> = net
-        .live_members()
-        .iter()
-        .map(|mm| mm.id.value())
-        .collect();
+    let live: std::collections::HashSet<u64> =
+        net.live_members().iter().map(|mm| mm.id.value()).collect();
     let mut stale = 0;
     let mut total = 0;
     for (_, a) in net.actors() {

@@ -44,7 +44,13 @@ impl Sha1 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,

@@ -7,12 +7,7 @@ use proptest::prelude::*;
 fn space_and_ids() -> impl Strategy<Value = (IdSpace, u64, u64, u64)> {
     (1u32..=62).prop_flat_map(|bits| {
         let n = 1u64 << bits;
-        (
-            Just(IdSpace::new(bits)),
-            0..n,
-            0..n,
-            0..n,
-        )
+        (Just(IdSpace::new(bits)), 0..n, 0..n, 0..n)
     })
 }
 

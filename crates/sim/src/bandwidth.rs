@@ -105,7 +105,10 @@ pub fn simulate_stream(
     let n = children.len();
     assert_eq!(n, upload_kbps.len(), "children/upload length mismatch");
     assert!(root < n, "root out of range");
-    assert!(config.packets >= 2, "need at least 2 packets to measure rate");
+    assert!(
+        config.packets >= 2,
+        "need at least 2 packets to measure rate"
+    );
 
     // BFS order guarantees a node's arrivals are final before its children's
     // are computed; also detects cycles.
@@ -144,8 +147,7 @@ pub fn simulate_stream(
         let mut link_free = 0.0f64;
         // For each packet, copies go out back-to-back to each child in order.
         let d = children[x].len();
-        let mut child_arrivals: Vec<Vec<f64>> =
-            vec![Vec::with_capacity(arr.len()); d];
+        let mut child_arrivals: Vec<Vec<f64>> = vec![Vec::with_capacity(arr.len()); d];
         for &t in &arr {
             let start = link_free.max(t);
             for (ci, out) in child_arrivals.iter_mut().enumerate() {
@@ -192,12 +194,12 @@ mod tests {
     fn analytic_examples() {
         // Chain 0 → 1 → 2: rates 100/1, 50/1.
         let children = vec![vec![1], vec![2], vec![]];
-        assert_eq!(analytic_throughput_kbps(&children, &[100.0, 50.0, 10.0]), 50.0);
-        // Single node: no internal nodes.
         assert_eq!(
-            analytic_throughput_kbps(&[vec![]], &[100.0]),
-            f64::INFINITY
+            analytic_throughput_kbps(&children, &[100.0, 50.0, 10.0]),
+            50.0
         );
+        // Single node: no internal nodes.
+        assert_eq!(analytic_throughput_kbps(&[vec![]], &[100.0]), f64::INFINITY);
     }
 
     #[test]
@@ -231,10 +233,15 @@ mod tests {
         let upload = vec![900.0, 500.0, 420.0, 640.0, 770.0, 410.0, 980.0];
         let analytic = analytic_throughput_kbps(&children, &upload);
         assert_eq!(analytic, 250.0); // node 1: 500/2
-        let report = simulate_stream(&children, 0, &upload, &StreamConfig {
-            packets: 800,
-            ..StreamConfig::default()
-        });
+        let report = simulate_stream(
+            &children,
+            0,
+            &upload,
+            &StreamConfig {
+                packets: 800,
+                ..StreamConfig::default()
+            },
+        );
         assert!(
             (report.delivered_kbps - analytic).abs() / analytic < 0.03,
             "measured {} vs analytic {analytic}",

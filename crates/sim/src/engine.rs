@@ -197,7 +197,7 @@ impl<A: Actor> Simulation<A> {
 
     /// Whether `id` refers to a live actor.
     pub fn is_alive(&self, id: ActorId) -> bool {
-        self.actors.get(id.0).map_or(false, Option::is_some)
+        self.actors.get(id.0).is_some_and(Option::is_some)
     }
 
     /// Crash-kills `id`: pending and future messages to it are dropped.
@@ -237,11 +237,7 @@ impl<A: Actor> Simulation<A> {
     pub fn post(&mut self, from: ActorId, to: ActorId, msg: A::Msg) {
         self.stats.sent += 1;
         let delay = self.latency.sample(from.0, to.0, &mut self.rng);
-        self.schedule(
-            self.now + delay,
-            to,
-            Payload::Message { from, msg },
-        );
+        self.schedule(self.now + delay, to, Payload::Message { from, msg });
     }
 
     /// Arms a timer on `to` that fires after `delay` with `tag`.

@@ -167,9 +167,18 @@ fn rng_substreams_are_uncorrelated_enough() {
 fn kill_mid_relay_stops_the_chain() {
     let mut sim: Simulation<Relay> =
         Simulation::new(9, LatencyModel::Constant(Duration::from_millis(5)));
-    let c = sim.add_actor(Relay { next: None, received_at: Vec::new() });
-    let b = sim.add_actor(Relay { next: Some(c), received_at: Vec::new() });
-    let a = sim.add_actor(Relay { next: Some(b), received_at: Vec::new() });
+    let c = sim.add_actor(Relay {
+        next: None,
+        received_at: Vec::new(),
+    });
+    let b = sim.add_actor(Relay {
+        next: Some(c),
+        received_at: Vec::new(),
+    });
+    let a = sim.add_actor(Relay {
+        next: Some(b),
+        received_at: Vec::new(),
+    });
     // Close the loop so traffic keeps pointing back at the dead node.
     sim.actor_mut(c).unwrap().next = Some(b);
     sim.post(a, b, 10);

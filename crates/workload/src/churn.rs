@@ -120,10 +120,7 @@ impl ChurnTrace {
                 } else {
                     ChurnKind::Leave(victim.id)
                 };
-                out.push(ChurnEvent {
-                    at_micros: t,
-                    kind,
-                });
+                out.push(ChurnEvent { at_micros: t, kind });
             }
         }
         ChurnTrace { events: out }

@@ -30,12 +30,16 @@ fn main() {
     };
 
     println!("{n}-member overlays; crashing 15% of nodes, then repairing\n");
-    run_protocol("CAM-Chord (region trees)", || {
-        DynamicNetwork::converged(space, &members, CamChordProtocol, 5, latency.clone())
-    }, true);
-    run_protocol("CAM-Koorde (flooding)", || {
-        DynamicNetwork::converged(space, &members, CamKoordeProtocol, 5, latency.clone())
-    }, false);
+    run_protocol(
+        "CAM-Chord (region trees)",
+        || DynamicNetwork::converged(space, &members, CamChordProtocol, 5, latency.clone()),
+        true,
+    );
+    run_protocol(
+        "CAM-Koorde (flooding)",
+        || DynamicNetwork::converged(space, &members, CamKoordeProtocol, 5, latency.clone()),
+        false,
+    );
 }
 
 fn run_protocol<P: DhtProtocol>(

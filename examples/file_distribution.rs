@@ -35,7 +35,9 @@ fn main() {
     );
 
     // The "file": 64 KiB of structured bytes, hashed for verification.
-    let blob: Vec<u8> = (0..65_536u32).map(|i| (i.wrapping_mul(31) % 256) as u8).collect();
+    let blob: Vec<u8> = (0..65_536u32)
+        .map(|i| (i.wrapping_mul(31) % 256) as u8)
+        .collect();
     let digest = Sha1::digest(&blob);
     println!(
         "distributing 64 KiB blob (sha1 {}) to {n} members",

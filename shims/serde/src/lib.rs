@@ -1,0 +1,18 @@
+//! Offline no-op subset of `serde`.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serializes through serde (tables are written as
+//! hand-rolled CSV/JSON). This shim keeps the `#[derive(Serialize,
+//! Deserialize)]` annotations compiling — the derive macros expand to
+//! nothing — so the real dependency can be dropped in later without
+//! touching annotated types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never implemented by the
+/// no-op derive; present so `T: Serialize` bounds would fail loudly rather
+/// than silently doing nothing.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde` shim.
+//!
+//! The workspace only *annotates* types with serde derives — nothing
+//! serializes through serde at runtime (all persistence is hand-written CSV
+//! and JSON) — so the derives can expand to nothing. If a future change
+//! starts calling serde serialization, replace the `shims/` crates with the
+//! real dependencies.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` annotations compiling.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` annotations compiling.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

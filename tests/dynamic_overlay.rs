@@ -27,21 +27,15 @@ fn converged_network_multicasts_completely() {
     for region_split in [true, false] {
         let m = members(300, 1);
         let mut net = if region_split {
-            run_multicast(DynamicNetwork::converged(
-                IdSpace::PAPER,
-                &m,
-                CamChordProtocol,
-                1,
-                wan(),
-            ), true)
+            run_multicast(
+                DynamicNetwork::converged(IdSpace::PAPER, &m, CamChordProtocol, 1, wan()),
+                true,
+            )
         } else {
-            run_multicast(DynamicNetwork::converged(
-                IdSpace::PAPER,
-                &m,
-                CamKoordeProtocol,
-                1,
-                wan(),
-            ), false)
+            run_multicast(
+                DynamicNetwork::converged(IdSpace::PAPER, &m, CamKoordeProtocol, 1, wan()),
+                false,
+            )
         };
         let (ratio, hops) = net.pop().unwrap();
         assert!(ratio > 0.999, "region_split={region_split}: {ratio}");
@@ -71,11 +65,8 @@ fn ring_self_heals_after_crashes() {
     net.sim.run_until(net.sim.now() + Duration::from_secs(120));
 
     // Every live node's successor must be live, and multicast is complete.
-    let live: std::collections::HashSet<u64> = net
-        .live_members()
-        .iter()
-        .map(|m| m.id.value())
-        .collect();
+    let live: std::collections::HashSet<u64> =
+        net.live_members().iter().map(|m| m.id.value()).collect();
     for (_, a) in net.actors() {
         if let Some(actor) = net.sim.actor(*a) {
             let succ = actor.successor().expect("successor after repair");
@@ -215,8 +206,7 @@ fn payload_bytes_arrive_intact_everywhere() {
     let source = net.actors()[0].1;
     let body: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
     let digest = cam::ring::sha1::Sha1::digest(&body);
-    let payload =
-        net.start_multicast_with_data(source, true, bytes::Bytes::from(body));
+    let payload = net.start_multicast_with_data(source, true, bytes::Bytes::from(body));
     net.sim.run_until(net.sim.now() + Duration::from_secs(20));
     assert!(net.delivery_ratio(payload) > 0.999);
     for (_, a) in net.actors() {

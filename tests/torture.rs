@@ -41,7 +41,9 @@ fn torture(seed: u64) {
             4..=6 => {
                 let id = loop {
                     let candidate = Id(next_fresh_id % space.size());
-                    next_fresh_id = next_fresh_id.wrapping_mul(6364136223846793005).wrapping_add(11);
+                    next_fresh_id = next_fresh_id
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(11);
                     if net.actor_of(candidate).is_none() {
                         break candidate;
                     }
