@@ -1,0 +1,35 @@
+//! Networking for the CAM overlays: a versioned wire codec, pluggable
+//! transports, and a node runtime that takes the *same* `DhtActor` the
+//! simulator drives and runs it over a real (or realistically faulty)
+//! wire.
+//!
+//! The crate is layered bottom-up:
+//!
+//! * [`codec`] — a length-prefixed, versioned binary frame format for
+//!   `DhtMsg`, with strict rejection of malformed input.
+//! * [`transport`] — the [`transport::Transport`] trait plus
+//!   [`transport::InMemoryTransport`], a deterministic in-process wire
+//!   with injectable loss and the simulator's latency models.
+//! * [`udp`] — [`udp::UdpTransport`], real non-blocking UDP sockets on
+//!   loopback.
+//! * [`runtime`] — [`runtime::Cluster`] / [`runtime::NodeRuntime`], the
+//!   event loop: frame decode → actor delivery → frame encode, timer
+//!   scheduling, bootstrap/join, and ack/retransmit with capped
+//!   exponential backoff for multicast payload frames.
+//!
+//! The `cam-node` binary (in `src/bin/`) stands up an N-node loopback
+//! UDP cluster and runs a real multicast through it.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod runtime;
+pub mod transport;
+pub mod udp;
+
+pub use codec::{
+    decode_frame, encode_frame, wire_cost, Frame, WireError, MAX_FRAME, WIRE_VERSION,
+};
+pub use runtime::{Cluster, NodeRuntime, RetransmitPolicy};
+pub use transport::{InMemoryTransport, Transport, WireCounters};
+pub use udp::UdpTransport;

@@ -1,0 +1,734 @@
+//! The node runtime: live DHT actors over a real (or realistic) wire.
+//!
+//! [`Cluster`] owns N [`NodeRuntime`]s and one [`Transport`] and plays the
+//! role the discrete-event `Simulation` plays in-sim: it decodes incoming
+//! frames into `DhtMsg`s, feeds them to each node's [`DhtActor`] through
+//! the [`DhtDriver`] trait, encodes and ships the actor's outgoing
+//! messages, and fires its timers. The *same actor code* runs here and in
+//! the simulator — the paper's protocol logic is written once.
+//!
+//! On top of the transport's best-effort datagram service the runtime adds
+//! **acknowledged delivery for payload frames**: `Multicast` and
+//! `PayloadPush` frames (the ones whose loss costs application data; see
+//! the paper's resilience experiments) are sent `ack_required`, kept in a
+//! per-node retransmit buffer, and re-sent with exponential backoff —
+//! `rto ← min(2·rto, max_rto)` — until acked or `max_attempts` is
+//! exhausted. Duplicates created by a lost ack are harmless: the actor's
+//! payload-id duplicate suppression makes redelivery idempotent. Control
+//! traffic (lookups, stabilization, pings) is *not* acknowledged — the
+//! maintenance protocol already tolerates loss by design (strikes,
+//! round-robin refresh), exactly as in the sim.
+//!
+//! Time: with a virtual-time transport ([`Transport::is_virtual`]) the
+//! cluster advances its clock from event to event like the simulator, so
+//! runs are deterministic under a fixed seed. With a real transport (UDP)
+//! the clock is the wall clock and the loop polls/sleeps.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use cam_overlay::dynamic::{DhtActor, DhtDriver, DhtMsg, DhtProtocol, SUCCESSOR_LIST_LEN};
+use cam_overlay::Member;
+use cam_ring::{Id, IdSpace, Segment};
+use cam_sim::rng::SimRng;
+use cam_sim::{ActorId, Duration, SimTime};
+
+use crate::codec::{decode_frame, encode_frame, Frame};
+use crate::transport::{Transport, WireCounters};
+
+/// Retransmission schedule for acknowledged (payload) frames.
+#[derive(Debug, Clone, Copy)]
+pub struct RetransmitPolicy {
+    /// Delay before the first retransmission.
+    pub initial_rto: Duration,
+    /// Backoff ceiling: the retransmission interval doubles per attempt
+    /// but never exceeds this.
+    pub max_rto: Duration,
+    /// Total transmission attempts (first send included) before the frame
+    /// is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            initial_rto: Duration::from_millis(150),
+            max_rto: Duration::from_millis(2400),
+            max_attempts: 10,
+        }
+    }
+}
+
+/// A payload frame awaiting acknowledgement.
+#[derive(Debug)]
+struct PendingAck {
+    to: usize,
+    frame: Vec<u8>,
+    attempts: u32,
+    rto: Duration,
+    next_at: SimTime,
+}
+
+/// Collects a [`DhtActor`]'s effects (sends, timers) during one delivery,
+/// for the runtime to turn into frames and timer-heap entries afterwards.
+struct Outbox<'a> {
+    me: ActorId,
+    sends: &'a mut Vec<(ActorId, DhtMsg)>,
+    timers: &'a mut Vec<(Duration, u64)>,
+    rng: &'a mut SimRng,
+}
+
+impl DhtDriver for Outbox<'_> {
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, to: ActorId, msg: DhtMsg) {
+        self.sends.push((to, msg));
+    }
+
+    fn set_timer(&mut self, delay: Duration, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    fn random_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0, "random_index over an empty range");
+        self.rng.uniform_incl(0, len as u64 - 1) as usize
+    }
+}
+
+/// One live node: a [`DhtActor`] plus the runtime state that hosts it —
+/// its timer heap, its retransmit buffer, and its private RNG stream.
+#[derive(Debug)]
+pub struct NodeRuntime<P: DhtProtocol> {
+    actor: DhtActor<P>,
+    alive: bool,
+    /// Armed timers as `(fire_at, arm_order, tag)`; `arm_order` keeps
+    /// equal-instant timers FIFO.
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    timer_seq: u64,
+    /// Unacknowledged payload frames by sequence number.
+    awaiting_ack: HashMap<u64, PendingAck>,
+    next_seq: u64,
+    rng: SimRng,
+}
+
+impl<P: DhtProtocol> NodeRuntime<P> {
+    fn new(index: usize, actor: DhtActor<P>, seed: u64) -> Self {
+        NodeRuntime {
+            actor,
+            alive: true,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            awaiting_ack: HashMap::new(),
+            next_seq: 1,
+            rng: SimRng::new(seed).split(0x0DE ^ index as u64),
+        }
+    }
+
+    /// The hosted actor (routing tables, received payloads, join state).
+    pub fn actor(&self) -> &DhtActor<P> {
+        &self.actor
+    }
+
+    /// Whether the node is alive (not crash-killed by the harness).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Payload frames currently awaiting acknowledgement.
+    pub fn unacked_frames(&self) -> usize {
+        self.awaiting_ack.len()
+    }
+
+    fn push_timer(&mut self, at: SimTime, tag: u64) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Reverse((at, seq, tag)));
+    }
+
+    /// Earliest instant this node needs the loop's attention.
+    fn next_deadline(&self) -> Option<SimTime> {
+        if !self.alive {
+            return None;
+        }
+        let timer = self.timers.peek().map(|Reverse((at, _, _))| *at);
+        let rto = self.awaiting_ack.values().map(|p| p.next_at).min();
+        match (timer, rto) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// An N-node overlay cluster over one [`Transport`] — the deployment
+/// counterpart of the sim harness's `DynamicNetwork`.
+pub struct Cluster<P: DhtProtocol, T: Transport> {
+    space: IdSpace,
+    protocol: P,
+    nodes: Vec<NodeRuntime<P>>,
+    transport: T,
+    policy: RetransmitPolicy,
+    now: SimTime,
+    /// Wall-clock epoch; `Some` iff the transport runs in real time.
+    epoch: Option<std::time::Instant>,
+    seed: u64,
+    next_payload: u64,
+    scratch_sends: Vec<(ActorId, DhtMsg)>,
+    scratch_timers: Vec<(Duration, u64)>,
+}
+
+impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
+    /// Builds a *converged* cluster of `members` on endpoints
+    /// `0..members.len()` of `transport`: every node starts with correct
+    /// successors, predecessor, and fingers (what stabilization would
+    /// eventually produce) and its maintenance timers armed — the same
+    /// bootstrap the sim harness uses. Additional transport endpoints
+    /// stay free for [`Cluster::join`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or the transport has too few
+    /// endpoints.
+    pub fn converged(
+        space: IdSpace,
+        members: &[Member],
+        protocol: P,
+        seed: u64,
+        transport: T,
+        policy: RetransmitPolicy,
+    ) -> Self {
+        let mut sorted = members.to_vec();
+        sorted.sort_by_key(|m| m.id);
+        let n = sorted.len();
+        assert!(n > 0, "empty cluster");
+        assert!(
+            transport.endpoints() >= n,
+            "transport has {} endpoints for {} members",
+            transport.endpoints(),
+            n
+        );
+        let epoch = (!transport.is_virtual()).then(std::time::Instant::now);
+        let mut cluster = Cluster {
+            space,
+            protocol: protocol.clone(),
+            nodes: Vec::with_capacity(n),
+            transport,
+            policy,
+            now: SimTime::ZERO,
+            epoch,
+            seed,
+            next_payload: 1,
+            scratch_sends: Vec::new(),
+            scratch_timers: Vec::new(),
+        };
+
+        let directory: HashMap<u64, ActorId> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.id.value(), ActorId(i)))
+            .collect();
+        let ids: Vec<Id> = sorted.iter().map(|m| m.id).collect();
+        let owner_of = |k: Id| -> Member {
+            let i = ids.partition_point(|&x| x < k);
+            sorted[if i == n { 0 } else { i }]
+        };
+        for (i, m) in sorted.iter().enumerate() {
+            let mut actor = DhtActor::new(space, *m, protocol.clone());
+            let succs: Vec<Member> = (1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)).max(1))
+                .map(|d| sorted[(i + d) % n])
+                .collect();
+            let pred = sorted[(i + n - 1) % n];
+            let targets = protocol.neighbor_targets(space, m);
+            let fingers: Vec<(Id, Member)> =
+                targets.iter().map(|&t| (t, owner_of(t))).collect();
+            actor.seed_state(succs, pred, fingers);
+            actor.set_directory(directory.clone());
+            cluster.nodes.push(NodeRuntime::new(i, actor, seed));
+        }
+        for i in 0..n {
+            cluster.arm_maintenance(i, i as u64 * 37);
+        }
+        cluster
+    }
+
+    fn arm_maintenance(&mut self, i: usize, jitter: u64) {
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        {
+            let nd = &mut self.nodes[i];
+            let mut drv = Outbox {
+                me: ActorId(i),
+                sends: &mut sends,
+                timers: &mut timers,
+                rng: &mut nd.rng,
+            };
+            nd.actor.arm_maintenance(&mut drv, jitter);
+        }
+        self.flush(i, &mut sends, &mut timers);
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
+    }
+
+    /// Sets the base maintenance period on every node (see
+    /// [`DhtActor::set_stabilize_every`]). Real clusters typically lower
+    /// it so convergence takes wall-clock seconds, not minutes.
+    pub fn set_maintenance_period(&mut self, every: Duration) {
+        for nd in &mut self.nodes {
+            nd.actor.set_stabilize_every(every);
+        }
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Current cluster time (virtual, or elapsed wall clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The runtime hosting node `i` (in ring order for seeded nodes, then
+    /// join order).
+    pub fn node(&self, i: usize) -> &NodeRuntime<P> {
+        &self.nodes[i]
+    }
+
+    /// The underlying transport (for counters and addresses).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Snapshot of the transport's wire counters.
+    pub fn counters(&self) -> WireCounters {
+        self.transport.counters()
+    }
+
+    /// Crash-kills node `i`: its timers and retransmissions stop and
+    /// frames addressed to it are ignored, like a dead UDP host. Peers
+    /// discover the crash through failure detection.
+    pub fn kill(&mut self, i: usize) {
+        let nd = &mut self.nodes[i];
+        nd.alive = false;
+        nd.timers.clear();
+        nd.awaiting_ack.clear();
+    }
+
+    /// Adds `member` as a fresh node on the next free transport endpoint
+    /// and starts its join through the lowest-numbered live node, exactly
+    /// like the sim harness: the address book is updated out of band (the
+    /// deployment equivalent is carrying addresses on the wire), but ring
+    /// membership is negotiated by the join protocol itself.
+    ///
+    /// Returns the new node's index, or `None` if the id is taken, no
+    /// live bootstrap exists, or the transport is out of endpoints.
+    pub fn join(&mut self, member: Member) -> Option<usize> {
+        if self
+            .nodes
+            .iter()
+            .any(|nd| nd.actor.member().id == member.id)
+        {
+            return None;
+        }
+        let idx = self.nodes.len();
+        if idx >= self.transport.endpoints() {
+            return None;
+        }
+        let bootstrap = (0..self.nodes.len()).find(|&i| self.nodes[i].alive)?;
+        let mut actor = DhtActor::new(self.space, member, self.protocol.clone());
+        let mut directory: HashMap<u64, ActorId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| (nd.actor.member().id.value(), ActorId(i)))
+            .collect();
+        directory.insert(member.id.value(), ActorId(idx));
+        actor.set_directory(directory);
+        for nd in &mut self.nodes {
+            nd.actor.add_directory_entry(member.id, ActorId(idx));
+        }
+        self.nodes.push(NodeRuntime::new(idx, actor, self.seed));
+        self.send_join_request(idx, bootstrap);
+        Some(idx)
+    }
+
+    fn send_join_request(&mut self, joiner: usize, bootstrap: usize) {
+        let msg = DhtMsg::JoinRequest {
+            joiner: *self.nodes[joiner].actor.member(),
+            joiner_actor: ActorId(joiner),
+        };
+        self.send_msg(joiner, ActorId(bootstrap), msg);
+    }
+
+    /// Runs until node `i` completes its join, re-sending the join
+    /// request every `retry_every` (join traffic is unacknowledged, so a
+    /// lost request would otherwise strand the joiner). Returns whether
+    /// the join completed within `timeout`.
+    pub fn join_and_wait(
+        &mut self,
+        member: Member,
+        retry_every: Duration,
+        timeout: Duration,
+    ) -> bool {
+        let Some(idx) = self.join(member) else {
+            return false;
+        };
+        let mut waited = Duration::ZERO;
+        while waited < timeout {
+            let slice = retry_every.min(timeout);
+            self.run_for(slice);
+            waited = Duration::from_micros(waited.micros() + slice.micros());
+            if self.nodes[idx].actor.is_joined() {
+                return true;
+            }
+            if let Some(bootstrap) = (0..self.nodes.len())
+                .find(|&i| self.nodes[i].alive && i != idx && self.nodes[i].actor.is_joined())
+            {
+                self.send_join_request(idx, bootstrap);
+            }
+        }
+        self.nodes[idx].actor.is_joined()
+    }
+
+    /// Initiates a multicast at node `source` carrying `data`, returning
+    /// the payload id. `region_split` chooses CAM-Chord region multicast
+    /// over constrained flooding, as in the sim harness.
+    pub fn start_multicast(
+        &mut self,
+        source: usize,
+        region_split: bool,
+        data: bytes::Bytes,
+    ) -> u64 {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let member_id = self.nodes[source].actor.member().id;
+        let region = region_split.then(|| Segment::all_but(self.space, member_id));
+        self.dispatch(
+            source,
+            ActorId(source),
+            DhtMsg::Multicast {
+                payload,
+                region,
+                hops: 0,
+                data,
+            },
+        );
+        payload
+    }
+
+    /// Fraction of live nodes that have received `payload`.
+    pub fn delivery_ratio(&self, payload: u64) -> f64 {
+        let mut live = 0usize;
+        let mut got = 0usize;
+        for nd in &self.nodes {
+            if nd.alive {
+                live += 1;
+                if nd.actor.payload_hops(payload).is_some() {
+                    got += 1;
+                }
+            }
+        }
+        if live == 0 {
+            0.0
+        } else {
+            got as f64 / live as f64
+        }
+    }
+
+    /// Mean overlay hop count of `payload` over nodes that received it.
+    pub fn mean_hops(&self, payload: u64) -> f64 {
+        let (mut total, mut count) = (0u64, 0u64);
+        for nd in &self.nodes {
+            if let Some(h) = nd.actor.payload_hops(payload) {
+                total += u64::from(h);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Maximum overlay hop count of `payload` over nodes that received it.
+    pub fn max_hops(&self, payload: u64) -> u32 {
+        self.nodes
+            .iter()
+            .filter_map(|nd| nd.actor.payload_hops(payload))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Runs the cluster for `span` (virtual or wall-clock, per the
+    /// transport).
+    pub fn run_for(&mut self, span: Duration) {
+        let deadline = self.horizon(span);
+        while self.step(deadline) {}
+    }
+
+    /// Runs until `done(self)` holds or `timeout` elapses; returns the
+    /// final verdict of `done`. The predicate is evaluated between event
+    /// batches, so it sees a consistent cluster.
+    pub fn run_until<F: FnMut(&Self) -> bool>(
+        &mut self,
+        timeout: Duration,
+        mut done: F,
+    ) -> bool {
+        let deadline = self.horizon(timeout);
+        loop {
+            if done(self) {
+                return true;
+            }
+            if !self.step(deadline) {
+                return done(self);
+            }
+        }
+    }
+
+    fn horizon(&mut self, span: Duration) -> SimTime {
+        if let Some(epoch) = self.epoch {
+            SimTime(epoch.elapsed().as_micros() as u64) + span
+        } else {
+            self.now + span
+        }
+    }
+
+    /// Advances the cluster by one event batch. Returns `false` once
+    /// `deadline` is reached (virtual: no event remains at or before it;
+    /// real: the wall clock passed it).
+    fn step(&mut self, deadline: SimTime) -> bool {
+        if let Some(epoch) = self.epoch {
+            self.now = SimTime(epoch.elapsed().as_micros() as u64);
+            if self.now >= deadline {
+                return false;
+            }
+            if !self.drain() {
+                // Idle: yield briefly instead of spinning on the sockets.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            true
+        } else {
+            let mut next = self.transport.next_ready();
+            for nd in &self.nodes {
+                next = match (next, nd.next_deadline()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            match next {
+                Some(t) if t <= deadline => {
+                    self.now = self.now.max(t);
+                    self.drain();
+                    true
+                }
+                _ => {
+                    self.now = deadline;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Delivers every ready frame and fires every due timer/retransmit at
+    /// the current instant. Returns whether anything happened.
+    fn drain(&mut self) -> bool {
+        let mut did = false;
+        while let Some((to, bytes)) = self.transport.poll(self.now) {
+            did = true;
+            self.handle_frame(to, &bytes);
+        }
+        for i in 0..self.nodes.len() {
+            did |= self.pump_node(i);
+        }
+        did
+    }
+
+    fn handle_frame(&mut self, to: usize, bytes: &[u8]) {
+        match decode_frame(bytes) {
+            Err(_) => self.transport.counters_mut().frames_rejected += 1,
+            Ok(Frame::Ack { seq, .. }) => {
+                self.transport.counters_mut().frames_decoded += 1;
+                self.nodes[to].awaiting_ack.remove(&seq);
+            }
+            Ok(Frame::Data {
+                from,
+                seq,
+                ack_required,
+                msg,
+            }) => {
+                self.transport.counters_mut().frames_decoded += 1;
+                let from = from as usize;
+                if from >= self.nodes.len() {
+                    // Envelope names an endpoint we never attached — a
+                    // stale or corrupt-but-parseable frame. Ignore it.
+                    self.transport.counters_mut().frames_rejected += 1;
+                    return;
+                }
+                if ack_required {
+                    let ack = encode_frame(&Frame::Ack {
+                        from: to as u64,
+                        seq,
+                    })
+                    .expect("ack frames always fit");
+                    self.transport.counters_mut().frames_encoded += 1;
+                    self.transport.send(self.now, to, from, &ack);
+                }
+                if self.nodes[to].alive {
+                    self.dispatch(to, ActorId(from), msg);
+                }
+            }
+        }
+    }
+
+    /// Feeds `msg` to node `i`'s actor and flushes the effects.
+    fn dispatch(&mut self, i: usize, from: ActorId, msg: DhtMsg) {
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        {
+            let nd = &mut self.nodes[i];
+            let mut drv = Outbox {
+                me: ActorId(i),
+                sends: &mut sends,
+                timers: &mut timers,
+                rng: &mut nd.rng,
+            };
+            nd.actor.deliver(&mut drv, from, msg);
+        }
+        self.flush(i, &mut sends, &mut timers);
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
+    }
+
+    /// Turns collected effects into frames on the wire and timer-heap
+    /// entries.
+    fn flush(
+        &mut self,
+        i: usize,
+        sends: &mut Vec<(ActorId, DhtMsg)>,
+        timers: &mut Vec<(Duration, u64)>,
+    ) {
+        for (delay, tag) in timers.drain(..) {
+            let at = self.now + delay;
+            self.nodes[i].push_timer(at, tag);
+        }
+        for (to, msg) in sends.drain(..) {
+            self.send_msg(i, to, msg);
+        }
+    }
+
+    /// Encodes `msg` as a DATA frame from node `i` and ships it; payload
+    /// frames additionally enter the retransmit buffer.
+    fn send_msg(&mut self, i: usize, to: ActorId, msg: DhtMsg) {
+        let to = to.index();
+        if to >= self.transport.endpoints() {
+            return; // stale address: lost, like the sim's unknown actor
+        }
+        let needs_ack = matches!(msg, DhtMsg::Multicast { .. } | DhtMsg::PayloadPush { .. });
+        let seq = self.nodes[i].next_seq;
+        self.nodes[i].next_seq += 1;
+        let frame = Frame::Data {
+            from: i as u64,
+            seq,
+            ack_required: needs_ack,
+            msg,
+        };
+        match encode_frame(&frame) {
+            Err(_) => {
+                // Too large for one frame (e.g. an oversized payload or
+                // digest): counted, not sent. Anti-entropy will not help
+                // here either — the payload itself must fit.
+                self.transport.counters_mut().frames_rejected += 1;
+            }
+            Ok(bytes) => {
+                self.transport.counters_mut().frames_encoded += 1;
+                if needs_ack {
+                    self.nodes[i].awaiting_ack.insert(
+                        seq,
+                        PendingAck {
+                            to,
+                            frame: bytes.clone(),
+                            attempts: 1,
+                            rto: self.policy.initial_rto,
+                            next_at: self.now + self.policy.initial_rto,
+                        },
+                    );
+                }
+                self.transport.send(self.now, i, to, &bytes);
+            }
+        }
+    }
+
+    /// Fires node `i`'s due timers and retransmissions. Returns whether
+    /// anything fired.
+    fn pump_node(&mut self, i: usize) -> bool {
+        let mut did = false;
+        while let Some(&Reverse((at, _, tag))) = self.nodes[i].timers.peek() {
+            if at > self.now {
+                break;
+            }
+            self.nodes[i].timers.pop();
+            if !self.nodes[i].alive {
+                continue;
+            }
+            did = true;
+            let mut sends = std::mem::take(&mut self.scratch_sends);
+            let mut timers = std::mem::take(&mut self.scratch_timers);
+            {
+                let nd = &mut self.nodes[i];
+                let mut drv = Outbox {
+                    me: ActorId(i),
+                    sends: &mut sends,
+                    timers: &mut timers,
+                    rng: &mut nd.rng,
+                };
+                nd.actor.deliver_timer(&mut drv, tag);
+            }
+            self.flush(i, &mut sends, &mut timers);
+            self.scratch_sends = sends;
+            self.scratch_timers = timers;
+        }
+        if !self.nodes[i].alive {
+            return did;
+        }
+        let mut due: Vec<u64> = self.nodes[i]
+            .awaiting_ack
+            .iter()
+            .filter(|(_, p)| p.next_at <= self.now)
+            .map(|(&seq, _)| seq)
+            .collect();
+        // HashMap iteration order is per-instance random; retransmit in
+        // sequence order so virtual-time runs stay deterministic.
+        due.sort_unstable();
+        for seq in due {
+            did = true;
+            let policy = self.policy;
+            let p = self.nodes[i]
+                .awaiting_ack
+                .get_mut(&seq)
+                .expect("collected above");
+            if p.attempts >= policy.max_attempts {
+                self.nodes[i].awaiting_ack.remove(&seq);
+                continue;
+            }
+            p.attempts += 1;
+            p.rto = p.rto.saturating_mul(2).min(policy.max_rto);
+            p.next_at = self.now + p.rto;
+            let (to, bytes) = (p.to, p.frame.clone());
+            self.transport.counters_mut().frames_retransmitted += 1;
+            self.transport.send(self.now, i, to, &bytes);
+        }
+        did
+    }
+}

@@ -1,0 +1,262 @@
+//! Pluggable frame transports.
+//!
+//! A [`Transport`] moves opaque, already-encoded frames between numbered
+//! endpoints. The runtime above it neither knows nor cares whether frames
+//! cross a deterministic in-memory wire ([`InMemoryTransport`]) or real
+//! loopback UDP sockets ([`crate::udp::UdpTransport`]) — the same
+//! protocol logic runs over both, which is the whole point of the layer.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cam_sim::rng::SimRng;
+use cam_sim::{LatencyModel, SimTime};
+
+/// Traffic counters every transport maintains, in the same units for the
+/// in-memory wire and the real sockets so runs are directly comparable
+/// (and comparable with the simulator's `SimStats` byte counters when a
+/// wire-cost function is installed there).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCounters {
+    /// Bytes handed to the wire, including frames later lost in transit.
+    pub bytes_sent: u64,
+    /// Bytes received from the wire, before decoding.
+    pub bytes_received: u64,
+    /// Frames successfully encoded and offered to the transport.
+    pub frames_encoded: u64,
+    /// Received frames that decoded cleanly.
+    pub frames_decoded: u64,
+    /// Received frames rejected as malformed (plus messages too large to
+    /// encode into one frame).
+    pub frames_rejected: u64,
+    /// Frames lost in transit (in-memory loss injection, or a socket send
+    /// that errored).
+    pub frames_dropped: u64,
+    /// Retransmissions of unacknowledged frames.
+    pub frames_retransmitted: u64,
+}
+
+/// A bidirectional frame mover between `endpoints()` numbered endpoints.
+///
+/// Contract:
+///
+/// * `send` never blocks and never fails visibly — an undeliverable frame
+///   is counted in [`WireCounters::frames_dropped`] and forgotten, exactly
+///   like a UDP datagram. Reliability is the caller's business (the
+///   runtime's ack/retransmit machinery).
+/// * `poll` returns at most one ready frame per call, as
+///   `(destination endpoint, frame bytes)`, and never blocks.
+/// * Virtual-time transports (`is_virtual() == true`) deliver a frame only
+///   once `poll` is called with `now` at or past the frame's arrival
+///   instant, and report the earliest such instant via `next_ready` so the
+///   caller can advance its clock without busy-spinning. Real-time
+///   transports return `None` from `next_ready` and ignore `now`.
+pub trait Transport {
+    /// Number of endpoints this transport connects.
+    fn endpoints(&self) -> usize;
+
+    /// Queues `frame` from endpoint `from` to endpoint `to` at time `now`.
+    fn send(&mut self, now: SimTime, from: usize, to: usize, frame: &[u8]);
+
+    /// Takes the next frame deliverable at or before `now`, if any.
+    fn poll(&mut self, now: SimTime) -> Option<(usize, Vec<u8>)>;
+
+    /// Earliest instant a queued frame becomes deliverable (virtual
+    /// transports only).
+    fn next_ready(&self) -> Option<SimTime>;
+
+    /// Whether delivery timing follows the caller's virtual clock (`true`)
+    /// or real wall-clock I/O (`false`).
+    fn is_virtual(&self) -> bool;
+
+    /// Snapshot of the traffic counters.
+    fn counters(&self) -> WireCounters;
+
+    /// Mutable counters, for the runtime to account frame encode/decode
+    /// outcomes on the transport they belong to.
+    fn counters_mut(&mut self) -> &mut WireCounters;
+}
+
+/// A frame in flight on the in-memory wire.
+#[derive(Debug)]
+struct InFlight {
+    at: SimTime,
+    seq: u64,
+    to: usize,
+    frame: Vec<u8>,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic in-process wire: frames are delayed by a
+/// [`LatencyModel`] (the same models the simulator uses) and optionally
+/// lost with a configured probability, both driven by a seeded
+/// [`SimRng`]. With equal seeds, two runs see identical delays and losses
+/// — which is what lets the loss/retransmit integration tests assert exact
+/// outcomes.
+#[derive(Debug)]
+pub struct InMemoryTransport {
+    endpoints: usize,
+    latency: LatencyModel,
+    rng: SimRng,
+    loss_probability: f64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    counters: WireCounters,
+}
+
+impl InMemoryTransport {
+    /// A wire between `endpoints` endpoints with the given latency model,
+    /// deterministic under `seed`.
+    pub fn new(endpoints: usize, seed: u64, latency: LatencyModel) -> Self {
+        InMemoryTransport {
+            endpoints,
+            latency,
+            rng: SimRng::new(seed).split(0x11E7),
+            loss_probability: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            counters: WireCounters::default(),
+        }
+    }
+
+    /// Sets the independent per-frame loss probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
+        self.loss_probability = p;
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn endpoints(&self) -> usize {
+        self.endpoints
+    }
+
+    fn send(&mut self, now: SimTime, from: usize, to: usize, frame: &[u8]) {
+        assert!(from < self.endpoints && to < self.endpoints, "bad endpoint");
+        self.counters.bytes_sent += frame.len() as u64;
+        if self.loss_probability > 0.0 && self.rng.unit() < self.loss_probability {
+            self.counters.frames_dropped += 1;
+            return;
+        }
+        let delay = self.latency.sample(from, to, &mut self.rng);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight {
+            at: now + delay,
+            seq,
+            to,
+            frame: frame.to_vec(),
+        }));
+    }
+
+    fn poll(&mut self, now: SimTime) -> Option<(usize, Vec<u8>)> {
+        if self.queue.peek().is_some_and(|Reverse(f)| f.at <= now) {
+            let Reverse(f) = self.queue.pop().expect("peeked");
+            self.counters.bytes_received += f.frame.len() as u64;
+            Some((f.to, f.frame))
+        } else {
+            None
+        }
+    }
+
+    fn next_ready(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(f)| f.at)
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+
+    fn counters(&self) -> WireCounters {
+        self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut WireCounters {
+        &mut self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cam_sim::Duration;
+
+    #[test]
+    fn delivers_in_latency_order_deterministically() {
+        let mk = || {
+            let mut t = InMemoryTransport::new(
+                3,
+                7,
+                LatencyModel::Uniform {
+                    min: Duration::from_millis(5),
+                    max: Duration::from_millis(50),
+                },
+            );
+            t.send(SimTime::ZERO, 0, 1, b"a");
+            t.send(SimTime::ZERO, 0, 2, b"bb");
+            t.send(SimTime::ZERO, 1, 2, b"ccc");
+            let mut order = Vec::new();
+            while let Some((to, frame)) = t.poll(SimTime(u64::MAX / 2)) {
+                order.push((to, frame.len()));
+            }
+            (order, t.counters())
+        };
+        let (o1, c1) = mk();
+        let (o2, c2) = mk();
+        assert_eq!(o1, o2, "same seed, same delivery order");
+        assert_eq!(c1, c2);
+        assert_eq!(c1.bytes_sent, 6);
+        assert_eq!(c1.bytes_received, 6);
+    }
+
+    #[test]
+    fn respects_virtual_clock() {
+        let mut t =
+            InMemoryTransport::new(2, 1, LatencyModel::Constant(Duration::from_millis(10)));
+        t.send(SimTime::ZERO, 0, 1, b"x");
+        assert!(t.poll(SimTime::ZERO + Duration::from_millis(9)).is_none());
+        assert_eq!(
+            t.next_ready(),
+            Some(SimTime::ZERO + Duration::from_millis(10))
+        );
+        assert!(t.poll(SimTime::ZERO + Duration::from_millis(10)).is_some());
+        assert!(t.next_ready().is_none());
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut t =
+            InMemoryTransport::new(2, 2, LatencyModel::Constant(Duration::from_millis(1)));
+        t.set_loss_probability(1.0);
+        for _ in 0..10 {
+            t.send(SimTime::ZERO, 0, 1, b"gone");
+        }
+        assert!(t.poll(SimTime(u64::MAX / 2)).is_none());
+        assert_eq!(t.counters().frames_dropped, 10);
+        assert_eq!(t.counters().bytes_sent, 40);
+        assert_eq!(t.counters().bytes_received, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the node runtime over the deterministic
+//! in-memory transport: multicast delivery with and without frame loss,
+//! join over the wire, and bit-for-bit reproducibility under a fixed seed.
+
+use bytes::Bytes;
+use cam_core::cam_chord::CamChordProtocol;
+use cam_core::cam_koorde::CamKoordeProtocol;
+use cam_net::runtime::{Cluster, RetransmitPolicy};
+use cam_net::transport::InMemoryTransport;
+use cam_overlay::dynamic::DhtProtocol;
+use cam_overlay::Member;
+use cam_ring::{Id, IdSpace};
+use cam_sim::rng::SimRng;
+use cam_sim::{Duration, LatencyModel};
+
+const SPACE: IdSpace = IdSpace::PAPER;
+
+/// Deterministic unique members with the paper's capacity range.
+fn members(n: usize, seed: u64) -> Vec<Member> {
+    let mut rng = SimRng::new(seed).split(0x7E57);
+    let mut ids = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let id = rng.uniform_incl(0, SPACE.size() - 1);
+        if ids.insert(id) {
+            out.push(Member::with_capacity(
+                Id(id),
+                rng.uniform_incl(2, 10) as u32,
+            ));
+        }
+    }
+    out
+}
+
+fn wan_transport(endpoints: usize, seed: u64, loss: f64) -> InMemoryTransport {
+    let mut t = InMemoryTransport::new(endpoints, seed, LatencyModel::default_wan());
+    t.set_loss_probability(loss);
+    t
+}
+
+fn converged<P: DhtProtocol>(
+    n: usize,
+    protocol: P,
+    seed: u64,
+    loss: f64,
+) -> Cluster<P, InMemoryTransport> {
+    Cluster::converged(
+        SPACE,
+        &members(n, seed),
+        protocol,
+        seed,
+        wan_transport(n, seed, loss),
+        RetransmitPolicy::default(),
+    )
+}
+
+#[test]
+fn chord_multicast_reaches_every_node_without_loss() {
+    let mut cluster = converged(32, CamChordProtocol, 11, 0.0);
+    cluster.run_for(Duration::from_secs(2)); // a few maintenance rounds
+    let payload = cluster.start_multicast(0, true, Bytes::from(vec![1u8; 512]));
+    let done = cluster.run_until(Duration::from_secs(10), |c| {
+        c.delivery_ratio(payload) >= 1.0
+    });
+    assert!(
+        done,
+        "delivery stalled at {}",
+        cluster.delivery_ratio(payload)
+    );
+    assert!(cluster.mean_hops(payload) >= 1.0);
+    let c = cluster.counters();
+    assert!(c.frames_decoded > 0);
+    assert_eq!(c.frames_rejected, 0, "no malformed frames on a clean wire");
+    assert_eq!(c.frames_dropped, 0);
+    // Maintenance chatter is perpetual, so some frames are always still in
+    // flight — but a lossless wire never loses bytes, only delays them.
+    assert!(c.bytes_received <= c.bytes_sent);
+    assert!(c.bytes_received > 0);
+}
+
+/// The headline resilience property: with 20% of frames lost, the
+/// ack/retransmit layer still gets the multicast to every node — and the
+/// whole run is deterministic under a fixed seed.
+#[test]
+fn koorde_multicast_survives_twenty_percent_loss_deterministically() {
+    let run = || {
+        let mut cluster = converged(32, CamKoordeProtocol, 97, 0.2);
+        cluster.run_for(Duration::from_secs(1));
+        let payload = cluster.start_multicast(3, false, Bytes::from(vec![9u8; 256]));
+        let done = cluster.run_until(Duration::from_secs(60), |c| {
+            c.delivery_ratio(payload) >= 1.0
+        });
+        assert!(
+            done,
+            "delivery stalled at {} despite retransmits",
+            cluster.delivery_ratio(payload)
+        );
+        // Settle in-flight retransmissions/acks for stable counters.
+        cluster.run_for(Duration::from_secs(5));
+        let hops: Vec<Option<u32>> = (0..cluster.len())
+            .map(|i| cluster.node(i).actor().payload_hops(payload))
+            .collect();
+        (cluster.now(), cluster.counters(), hops)
+    };
+    let (t1, c1, h1) = run();
+    assert!(c1.frames_dropped > 0, "the lossy wire must actually drop");
+    assert!(
+        c1.frames_retransmitted > 0,
+        "recovery must come from retransmission"
+    );
+    let (t2, c2, h2) = run();
+    assert_eq!(t1, t2, "same seed, same virtual timeline");
+    assert_eq!(c1, c2, "same seed, same wire counters");
+    assert_eq!(h1, h2, "same seed, same per-node hop counts");
+}
+
+#[test]
+fn total_loss_defeats_even_retransmission() {
+    let mut cluster = converged(16, CamChordProtocol, 5, 1.0);
+    let payload = cluster.start_multicast(0, true, Bytes::from(vec![2u8; 64]));
+    cluster.run_for(Duration::from_secs(30));
+    let ratio = cluster.delivery_ratio(payload);
+    assert!(
+        ratio <= 1.0 / 16.0 + 1e-9,
+        "only the source can hold the payload, got {ratio}"
+    );
+    let c = cluster.counters();
+    assert!(c.frames_retransmitted > 0, "the sender kept trying");
+    assert_eq!(c.bytes_received, 0, "nothing crosses a fully lossy wire");
+    // Retransmission gives up after max_attempts: no unacked frame lives on.
+    assert_eq!(cluster.node(0).unacked_frames(), 0);
+}
+
+#[test]
+fn nodes_join_over_the_wire_and_receive_multicasts() {
+    let mut cluster = Cluster::converged(
+        SPACE,
+        &members(8, 23),
+        CamChordProtocol,
+        23,
+        wan_transport(12, 23, 0.0),
+        RetransmitPolicy::default(),
+    );
+    cluster.run_for(Duration::from_secs(1));
+
+    let joiners = [
+        Member::with_capacity(Id(123_456), 4),
+        Member::with_capacity(Id(404_321), 6),
+    ];
+    for m in joiners {
+        assert!(
+            cluster.join_and_wait(m, Duration::from_millis(500), Duration::from_secs(20)),
+            "join of {:?} must complete",
+            m.id
+        );
+    }
+    assert_eq!(cluster.len(), 10);
+    // Let stabilization weave the joiners into the ring and fingers.
+    cluster.run_for(Duration::from_secs(30));
+
+    let payload = cluster.start_multicast(9, true, Bytes::from(vec![7u8; 128]));
+    let done = cluster.run_until(Duration::from_secs(20), |c| {
+        c.delivery_ratio(payload) >= 1.0
+    });
+    assert!(
+        done,
+        "multicast from a joined node stalled at {}",
+        cluster.delivery_ratio(payload)
+    );
+}
+
+#[test]
+fn killed_nodes_do_not_count_against_delivery() {
+    let mut cluster = converged(16, CamChordProtocol, 31, 0.0);
+    cluster.run_for(Duration::from_secs(2));
+    cluster.kill(5);
+    cluster.kill(11);
+    // Let failure detection notice before multicasting.
+    cluster.run_for(Duration::from_secs(15));
+    let payload = cluster.start_multicast(0, true, Bytes::from(vec![3u8; 32]));
+    let done = cluster.run_until(Duration::from_secs(30), |c| {
+        c.delivery_ratio(payload) >= 1.0
+    });
+    assert!(
+        done,
+        "live nodes stalled at {}",
+        cluster.delivery_ratio(payload)
+    );
+    assert!(cluster.node(5).actor().payload_hops(payload).is_none());
+}

@@ -31,6 +31,52 @@ use crate::Member;
 /// negligible up to ~30% simultaneous crashes (0.3^8 ≈ 7·10⁻⁵).
 pub const SUCCESSOR_LIST_LEN: usize = 8;
 
+/// Host-environment services a [`DhtActor`] needs to run.
+///
+/// The actor's protocol logic is host-agnostic: it reacts to messages and
+/// timers and emits sends and timer requests through this trait. Two hosts
+/// exist today — the discrete-event simulator ([`Context`] implements the
+/// trait directly, so in-sim behaviour is unchanged) and `cam-net`'s
+/// `NodeRuntime`, which carries the same actor over real transports
+/// (loopback UDP, or an in-memory wire with injected loss). Anything that
+/// can deliver [`DhtMsg`]s, fire timers, and supply a little randomness can
+/// host a DHT node.
+pub trait DhtDriver {
+    /// The hosted actor's own address.
+    fn me(&self) -> ActorId;
+
+    /// Queues `msg` for delivery to `to`. Delivery is best-effort and
+    /// asynchronous; the host decides latency and loss.
+    fn send(&mut self, to: ActorId, msg: DhtMsg);
+
+    /// Arms a one-shot timer that calls back into the actor with `tag`
+    /// after `delay`.
+    fn set_timer(&mut self, delay: Duration, tag: u64);
+
+    /// Uniform random index in `[0, len)` for protocol decisions (e.g.
+    /// picking an anti-entropy gossip partner). `len` must be non-zero.
+    fn random_index(&mut self, len: usize) -> usize;
+}
+
+impl DhtDriver for Context<'_, DhtMsg> {
+    fn me(&self) -> ActorId {
+        Context::me(self)
+    }
+
+    fn send(&mut self, to: ActorId, msg: DhtMsg) {
+        Context::send(self, to, msg)
+    }
+
+    fn set_timer(&mut self, delay: Duration, tag: u64) {
+        Context::set_timer(self, delay, tag)
+    }
+
+    fn random_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0, "random_index over an empty range");
+        self.rng().uniform_incl(0, len as u64 - 1) as usize
+    }
+}
+
 /// Protocol-specific logic plugged into [`DhtActor`].
 pub trait DhtProtocol: Clone {
     /// Identifier targets this node should resolve and keep resolved as
@@ -77,7 +123,10 @@ pub trait DhtProtocol: Clone {
 }
 
 /// Wire messages exchanged by [`DhtActor`]s.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` exists so `cam-net`'s codec can assert
+/// `decode(encode(m)) == m` in its round-trip tests.
+#[derive(Debug, Clone, PartialEq)]
 pub enum DhtMsg {
     /// Route a lookup for `key`; reply to `reply_to` with `LookupDone`.
     Lookup {
@@ -298,12 +347,16 @@ impl<P: DhtProtocol> DhtActor<P> {
         v
     }
 
-    /// Current resolved neighbor members (deduplicated).
+    /// Current resolved neighbor members (deduplicated), in finger-target
+    /// order. The order is deterministic — hash-map iteration order must
+    /// not leak into protocol behavior, or equal seeds stop producing
+    /// equal runs.
     pub fn neighbor_members(&self) -> Vec<Member> {
-        let mut out: Vec<Member> = Vec::new();
-        for m in self.fingers.values() {
+        let entries = self.finger_entries();
+        let mut out: Vec<Member> = Vec::with_capacity(entries.len());
+        for (_, m) in entries {
             if m.id != self.me.id && !out.iter().any(|o| o.id == m.id) {
-                out.push(*m);
+                out.push(m);
             }
         }
         out
@@ -364,13 +417,21 @@ impl<P: DhtProtocol> DhtActor<P> {
         self.anti_entropy = enabled;
     }
 
+    /// Sets the base maintenance period (stabilize interval; finger fixing
+    /// and anti-entropy run at 2× this period). Real-transport hosts lower
+    /// it so loopback clusters converge in wall-clock seconds; the sim
+    /// default is 500 ms.
+    pub fn set_stabilize_every(&mut self, every: Duration) {
+        self.stabilize_every = every;
+    }
+
     fn actor_of(&self, id: Id) -> Option<ActorId> {
         self.directory.get(&id.value()).copied()
     }
 
-    fn send_to_member(&self, ctx: &mut Context<'_, DhtMsg>, id: Id, msg: DhtMsg) {
+    fn send_to_member<D: DhtDriver>(&self, drv: &mut D, id: Id, msg: DhtMsg) {
         if let Some(actor) = self.actor_of(id) {
-            ctx.send(actor, msg);
+            drv.send(actor, msg);
         }
         // Unknown address: the message is lost, like a stale routing entry.
     }
@@ -402,16 +463,16 @@ impl<P: DhtProtocol> DhtActor<P> {
         id
     }
 
-    fn handle_lookup(
+    fn handle_lookup<D: DhtDriver>(
         &mut self,
-        ctx: &mut Context<'_, DhtMsg>,
+        ctx: &mut D,
         key: Id,
         req_id: u64,
         reply_to: ActorId,
         hops: u32,
         mut state: u64,
     ) {
-        let answer = |ctx: &mut Context<'_, DhtMsg>, owner: Member, gave_up: bool| {
+        let answer = |ctx: &mut D, owner: Member, gave_up: bool| {
             ctx.send(
                 reply_to,
                 DhtMsg::LookupDone {
@@ -473,9 +534,9 @@ impl<P: DhtProtocol> DhtActor<P> {
         );
     }
 
-    fn handle_multicast(
+    fn handle_multicast<D: DhtDriver>(
         &mut self,
-        ctx: &mut Context<'_, DhtMsg>,
+        ctx: &mut D,
         payload: u64,
         region: Option<Segment>,
         hops: u32,
@@ -508,16 +569,19 @@ impl<P: DhtProtocol> DhtActor<P> {
         }
     }
 
-    fn handle_anti_entropy_timer(&mut self, ctx: &mut Context<'_, DhtMsg>) {
+    fn handle_anti_entropy_timer<D: DhtDriver>(&mut self, ctx: &mut D) {
         if self.anti_entropy {
-            let have: Vec<u64> = self.seen_payloads.keys().copied().collect();
+            // Sorted so the digest is identical across runs (hash order
+            // would otherwise perturb downstream message ordering).
+            let mut have: Vec<u64> = self.seen_payloads.keys().copied().collect();
+            have.sort_unstable();
             let mut targets: Vec<Id> = Vec::new();
             if let Some(succ) = self.successors.first() {
                 targets.push(succ.id);
             }
             let neighbors = self.neighbor_members();
             if !neighbors.is_empty() {
-                let pick = (ctx.rng().uniform_incl(0, neighbors.len() as u64 - 1)) as usize;
+                let pick = ctx.random_index(neighbors.len());
                 targets.push(neighbors[pick].id);
             }
             for t in targets {
@@ -528,7 +592,7 @@ impl<P: DhtProtocol> DhtActor<P> {
         ctx.set_timer(self.stabilize_every.saturating_mul(2), TIMER_ANTI_ENTROPY);
     }
 
-    fn handle_stabilize_timer(&mut self, ctx: &mut Context<'_, DhtMsg>) {
+    fn handle_stabilize_timer<D: DhtDriver>(&mut self, ctx: &mut D) {
         // Failure detection: the query sent at the previous tick went
         // unanswered — strike; two consecutive strikes declare the
         // successor dead and promote the next one (a single strike may be
@@ -569,12 +633,14 @@ impl<P: DhtProtocol> DhtActor<P> {
         ctx.set_timer(self.stabilize_every, TIMER_STABILIZE);
     }
 
-    fn handle_fix_fingers_timer(&mut self, ctx: &mut Context<'_, DhtMsg>) {
+    fn handle_fix_fingers_timer<D: DhtDriver>(&mut self, ctx: &mut D) {
         // 1. Probes from the previous round that never came back: give the
         //    probed member a strike; two consecutive strikes (distinguishing
         //    death from a single lost Ping/Pong) evict every finger pointing
         //    at it, so neither routing nor multicast forwards into the void.
-        let timed_out: Vec<(u64, Id)> = self.pending_pings.drain().map(|(_, v)| v).collect();
+        let mut timed_out: Vec<(u64, Id)> =
+            self.pending_pings.drain().map(|(_, v)| v).collect();
+        timed_out.sort_unstable(); // hash order must not steer evictions
         for (_, suspect) in timed_out {
             let strikes = self.ping_strikes.entry(suspect.value()).or_insert(0);
             *strikes += 1;
@@ -618,10 +684,13 @@ impl<P: DhtProtocol> DhtActor<P> {
     }
 }
 
-impl<P: DhtProtocol> Actor for DhtActor<P> {
-    type Msg = DhtMsg;
-
-    fn on_message(&mut self, ctx: &mut Context<'_, DhtMsg>, from: ActorId, msg: DhtMsg) {
+impl<P: DhtProtocol> DhtActor<P> {
+    /// Feeds one message into the actor through any [`DhtDriver`].
+    ///
+    /// This is the host-agnostic message entry point: the simulator's
+    /// [`Actor::on_message`] forwards here, and `cam-net`'s runtime calls
+    /// it directly with decoded wire frames.
+    pub fn deliver<D: DhtDriver>(&mut self, ctx: &mut D, from: ActorId, msg: DhtMsg) {
         match msg {
             DhtMsg::Lookup {
                 key,
@@ -718,19 +787,24 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
             } => self.handle_multicast(ctx, payload, region, hops, data),
             DhtMsg::AntiEntropyDigest { have } => {
                 let their: std::collections::HashSet<u64> = have.iter().copied().collect();
-                // Push what they're missing…
-                for (&p, &hops) in &self.seen_payloads {
-                    if !their.contains(&p) {
-                        let data = self.delivered_data.get(&p).cloned().unwrap_or_default();
-                        ctx.send(
-                            from,
-                            DhtMsg::PayloadPush {
-                                payload: p,
-                                hops: hops + 1,
-                                data,
-                            },
-                        );
-                    }
+                // Push what they're missing… (sorted: deterministic order)
+                let mut missing: Vec<(u64, u32)> = self
+                    .seen_payloads
+                    .iter()
+                    .filter(|(p, _)| !their.contains(p))
+                    .map(|(&p, &hops)| (p, hops))
+                    .collect();
+                missing.sort_unstable();
+                for (p, hops) in missing {
+                    let data = self.delivered_data.get(&p).cloned().unwrap_or_default();
+                    ctx.send(
+                        from,
+                        DhtMsg::PayloadPush {
+                            payload: p,
+                            hops: hops + 1,
+                            data,
+                        },
+                    );
                 }
                 // …and pull what we're missing.
                 let want: Vec<u64> = have
@@ -839,13 +913,44 @@ impl<P: DhtProtocol> Actor for DhtActor<P> {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, DhtMsg>, tag: u64) {
+    /// Feeds one timer expiry into the actor through any [`DhtDriver`]
+    /// (host-agnostic counterpart of [`Actor::on_timer`]).
+    pub fn deliver_timer<D: DhtDriver>(&mut self, ctx: &mut D, tag: u64) {
         match tag {
             TIMER_STABILIZE => self.handle_stabilize_timer(ctx),
             TIMER_FIX_FINGERS => self.handle_fix_fingers_timer(ctx),
             TIMER_ANTI_ENTROPY => self.handle_anti_entropy_timer(ctx),
             _ => {}
         }
+    }
+
+    /// Arms the periodic maintenance timers through a [`DhtDriver`] —
+    /// what [`DhtActor::start_maintenance`] does for the simulator, for
+    /// hosts that are not a [`Simulation`]. `jitter` desynchronizes the
+    /// nodes' maintenance phases.
+    pub fn arm_maintenance<D: DhtDriver>(&mut self, drv: &mut D, jitter: u64) {
+        let base = Duration::from_millis(500);
+        drv.set_timer(base + Duration::from_millis(jitter % 250), TIMER_STABILIZE);
+        drv.set_timer(
+            base.saturating_mul(2) + Duration::from_millis(jitter % 333),
+            TIMER_FIX_FINGERS,
+        );
+        drv.set_timer(
+            base.saturating_mul(3) + Duration::from_millis(jitter % 451),
+            TIMER_ANTI_ENTROPY,
+        );
+    }
+}
+
+impl<P: DhtProtocol> Actor for DhtActor<P> {
+    type Msg = DhtMsg;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DhtMsg>, from: ActorId, msg: DhtMsg) {
+        self.deliver(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DhtMsg>, tag: u64) {
+        self.deliver_timer(ctx, tag);
     }
 }
 

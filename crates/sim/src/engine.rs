@@ -72,6 +72,15 @@ pub struct SimStats {
     pub timers: u64,
     /// Total events processed.
     pub events: u64,
+    /// Wire bytes attributed to sent messages (including ones later lost),
+    /// per the cost function installed with [`Simulation::set_wire_cost`];
+    /// 0 if none is installed. Comparable to a real transport's
+    /// `bytes_sent` counter, so sim and deployment runs report traffic
+    /// volume in the same unit.
+    pub bytes_sent: u64,
+    /// Wire bytes attributed to messages actually delivered to a live
+    /// actor (the counterpart of a real transport's `bytes_received`).
+    pub bytes_received: u64,
 }
 
 enum Payload<M> {
@@ -146,8 +155,11 @@ pub struct Simulation<A: Actor> {
     latency: LatencyModel,
     rng: SimRng,
     stats: SimStats,
-    /// Probability in `[0, 1)` that any message is lost in transit.
+    /// Probability in `[0, 1]` that any message is lost in transit.
     loss_probability: f64,
+    /// Optional per-message wire-size function feeding the byte counters
+    /// in [`SimStats`] (e.g. `cam-net`'s encoded frame length).
+    wire_cost: Option<fn(&A::Msg) -> usize>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -171,17 +183,32 @@ impl<A: Actor> Simulation<A> {
             rng: SimRng::new(seed).split(0xEC0),
             stats: SimStats::default(),
             loss_probability: 0.0,
+            wire_cost: None,
         }
     }
 
-    /// Sets the independent per-message loss probability.
+    /// Sets the independent per-message loss probability. `p = 1.0` is a
+    /// fully lossy network: every actor-originated message is dropped
+    /// (externally injected [`Simulation::post`] messages still arrive).
     ///
     /// # Panics
     ///
-    /// Panics unless `0.0 <= p < 1.0`.
+    /// Panics unless `0.0 <= p <= 1.0`.
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!((0.0..1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         self.loss_probability = p;
+    }
+
+    /// Installs a per-message wire-size function: every sent message adds
+    /// its cost to [`SimStats::bytes_sent`] and every delivered message to
+    /// [`SimStats::bytes_received`], making sim traffic volume comparable
+    /// to a real transport's byte counters. Typically set to `cam-net`'s
+    /// encoded-frame length for `DhtMsg`-shaped protocols.
+    pub fn set_wire_cost(&mut self, cost: fn(&A::Msg) -> usize) {
+        self.wire_cost = Some(cost);
     }
 
     /// Registers an actor and returns its id.
@@ -236,6 +263,9 @@ impl<A: Actor> Simulation<A> {
     /// (plus model latency), as if `from` had sent it.
     pub fn post(&mut self, from: ActorId, to: ActorId, msg: A::Msg) {
         self.stats.sent += 1;
+        if let Some(cost) = self.wire_cost {
+            self.stats.bytes_sent += cost(&msg) as u64;
+        }
         let delay = self.latency.sample(from.0, to.0, &mut self.rng);
         self.schedule(self.now + delay, to, Payload::Message { from, msg });
     }
@@ -318,6 +348,9 @@ impl<A: Actor> Simulation<A> {
             match ev.payload {
                 Payload::Message { from, msg } => {
                     self.stats.delivered += 1;
+                    if let Some(cost) = self.wire_cost {
+                        self.stats.bytes_received += cost(&msg) as u64;
+                    }
                     actor.on_message(&mut ctx, from, msg);
                 }
                 Payload::Timer { tag } => {
@@ -329,6 +362,9 @@ impl<A: Actor> Simulation<A> {
             // Flush actions produced by the handler.
             for (from, to, msg, explicit) in outbox.drain(..) {
                 self.stats.sent += 1;
+                if let Some(cost) = self.wire_cost {
+                    self.stats.bytes_sent += cost(&msg) as u64;
+                }
                 if self.loss_probability > 0.0 && self.rng.unit() < self.loss_probability {
                     self.stats.dropped += 1;
                     continue;
@@ -496,5 +532,50 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn bad_loss_probability() {
         sim(7).set_loss_probability(1.5);
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        // p = 1.0 is legal (total loss): the injected message arrives
+        // (post() models an external event, not a lossy link), but every
+        // actor-originated reply is dropped, so the ping-pong dies after
+        // the first delivery.
+        let mut s = sim(8);
+        s.set_loss_probability(1.0);
+        let a = s.add_actor(PingPong { received: 0 });
+        let b = s.add_actor(PingPong { received: 0 });
+        s.post(a, b, 1000);
+        s.run_to_completion();
+        let st = s.stats();
+        assert_eq!(st.delivered, 1, "only the injected message arrives");
+        assert_eq!(st.dropped, 1, "the first reply is lost");
+        assert_eq!(s.actor(a).unwrap().received, 0);
+    }
+
+    #[test]
+    fn wire_cost_feeds_byte_counters() {
+        // Each message costs its value in bytes; a 3-2-1-0 ping-pong moves
+        // 3+2+1+0 bytes, all of which are both sent and delivered.
+        let mut s = sim(9);
+        s.set_wire_cost(|m| *m as usize);
+        let a = s.add_actor(PingPong { received: 0 });
+        let b = s.add_actor(PingPong { received: 0 });
+        s.post(a, b, 3);
+        s.run_to_completion();
+        let st = s.stats();
+        assert_eq!(st.bytes_sent, 6);
+        assert_eq!(st.bytes_received, 6);
+
+        // Under loss, bytes_sent counts the attempt, bytes_received the
+        // arrivals, so sent ≥ received.
+        let mut s = sim(10);
+        s.set_wire_cost(|m| *m as usize);
+        s.set_loss_probability(0.5);
+        let a = s.add_actor(PingPong { received: 0 });
+        let b = s.add_actor(PingPong { received: 0 });
+        s.post(a, b, 100);
+        s.run_to_completion();
+        let st = s.stats();
+        assert!(st.bytes_sent >= st.bytes_received);
     }
 }

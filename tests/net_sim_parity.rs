@@ -1,0 +1,91 @@
+//! Sim and wire report traffic in the same units: installing the codec's
+//! wire-cost function makes `SimStats` byte counters mean "bytes of
+//! encoded frames", directly comparable with a real transport's counters.
+
+use bytes::Bytes;
+use cam::net::codec::{wire_cost, DATA_HEADER_LEN};
+use cam::net::runtime::{Cluster, RetransmitPolicy};
+use cam::net::transport::InMemoryTransport;
+use cam::overlay::dynamic::DynamicNetwork;
+use cam::prelude::*;
+use cam::sim::time::Duration;
+use cam::sim::LatencyModel;
+
+const N: usize = 32;
+const SEED: u64 = 77;
+
+fn members() -> Vec<Member> {
+    Scenario::paper_default(SEED)
+        .with_n(N)
+        .members()
+        .iter()
+        .copied()
+        .collect()
+}
+
+#[test]
+fn sim_byte_counters_follow_the_codec() {
+    let members = members();
+    let mut net = DynamicNetwork::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        LatencyModel::default_wan(),
+    );
+    net.sim.set_wire_cost(wire_cost);
+    let source = net.actors()[0].1;
+    let payload = net.start_multicast(source, true);
+    net.sim.run_until(net.sim.now() + Duration::from_secs(10));
+
+    let stats = net.sim.stats();
+    assert_eq!(net.delivery_ratio(payload), 1.0);
+    assert!(stats.bytes_sent > 0, "wire cost must be charged");
+    assert!(stats.bytes_received <= stats.bytes_sent);
+    // Every charged message costs at least a frame header, so the total
+    // must dominate header-size × message-count.
+    assert!(stats.bytes_sent >= stats.delivered * DATA_HEADER_LEN as u64);
+}
+
+#[test]
+fn sim_and_wire_report_the_same_units() {
+    let members = members();
+
+    let mut net = DynamicNetwork::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        LatencyModel::default_wan(),
+    );
+    net.sim.set_wire_cost(wire_cost);
+    let source = net.actors()[0].1;
+    let sim_payload = net.start_multicast(source, true);
+    net.sim.run_until(net.sim.now() + Duration::from_secs(5));
+
+    let mut cluster = Cluster::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        InMemoryTransport::new(N, SEED, LatencyModel::default_wan()),
+        RetransmitPolicy::default(),
+    );
+    let wire_payload = cluster.start_multicast(0, true, Bytes::new());
+    cluster.run_for(Duration::from_secs(5));
+
+    assert_eq!(net.delivery_ratio(sim_payload), 1.0);
+    assert_eq!(cluster.delivery_ratio(wire_payload), 1.0);
+
+    // Same protocol, same group, same clock span: the two accountings must
+    // land in the same regime (the wire additionally carries acks and its
+    // own maintenance chatter, so demand only order-of-magnitude parity).
+    let sim_bytes = net.sim.stats().bytes_sent as f64;
+    let wire_bytes = cluster.counters().bytes_sent as f64;
+    assert!(sim_bytes > 0.0 && wire_bytes > 0.0);
+    let ratio = sim_bytes / wire_bytes;
+    assert!(
+        (0.1..=10.0).contains(&ratio),
+        "sim {sim_bytes} B vs wire {wire_bytes} B — not comparable units?"
+    );
+}
