@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared helpers for the Criterion benches.
 //!
 //! Each paper figure has a bench target that regenerates its data series

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Chord baseline: the capacity-*oblivious* overlay the paper compares

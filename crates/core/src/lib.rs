@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! CAM-Chord and CAM-Koorde: resilient capacity-aware multicast.

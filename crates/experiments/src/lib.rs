@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness: regenerates every figure of the paper's evaluation
 //! (Section 6) plus the extension experiments listed in `DESIGN.md`.
 //!

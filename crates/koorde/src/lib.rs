@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Koorde baseline: the capacity-*oblivious* de Bruijn overlay the paper

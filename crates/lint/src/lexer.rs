@@ -1,0 +1,414 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! `cam-lint` does not need a full AST: every rule it enforces can be
+//! decided from a token stream that (a) never confuses code with comment,
+//! string, or char-literal content, (b) records the line of every token,
+//! and (c) knows the bracket-nesting depth at every token. This module
+//! produces exactly that — identifiers, single-character punctuation,
+//! literals, and lifetimes, plus the comment text (where suppression
+//! directives live) as a side channel.
+//!
+//! The lexer is intentionally forgiving: on input it cannot make sense of
+//! (stray bytes, an unterminated literal) it degrades to single-character
+//! punctuation tokens rather than failing, because a file that does not
+//! parse will be rejected by `rustc` anyway — the lint's job is only to
+//! never *mis*-classify well-formed code.
+
+/// What kind of source atom a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fingers`, `for`, `HashMap`).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `&`, …).
+    Punct,
+    /// A numeric literal, lexed as one blob (`0x1F`, `1_000`, `2.5e3`).
+    Num,
+    /// A string, raw-string, byte-string, or char literal (content kept).
+    Lit,
+    /// A lifetime such as `'a` (the leading `'` is not kept).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text; for [`TokKind::Punct`] exactly one character.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Combined `(`/`[`/`{` nesting depth *outside* this token: an opening
+    /// bracket carries the depth of its surrounding scope, and so does the
+    /// matching closing bracket.
+    pub depth: u32,
+}
+
+/// A comment, kept out of the token stream (suppressions live here).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// Whether any non-whitespace code precedes the comment on its line
+    /// (a trailing comment annotates its own line; a standalone comment
+    /// annotates the line below).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails; see module docs.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut depth: u32 = 0;
+    // Index into `b` where the current source line starts, to decide
+    // whether a comment is trailing code or standalone.
+    let mut line_start = 0usize;
+
+    let code_before = |from: usize, to: usize, b: &[char]| -> bool {
+        b[from..to].iter().any(|c| !c.is_whitespace())
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..i].iter().collect(),
+                    trailing: code_before(line_start, start, &b),
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let trailing = code_before(line_start, start, &b);
+                let mut nest = 1u32;
+                i += 2;
+                while i < b.len() && nest > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        nest += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        nest -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                            line_start = i + 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                    trailing,
+                });
+            }
+            '"' => {
+                let (text, nl) = lex_string(&b, &mut i, 0);
+                out.toks.push(tok(TokKind::Lit, text, line, depth));
+                line += nl;
+            }
+            'r' | 'b' if starts_string(&b, i) => {
+                let start_line = line;
+                let (text, nl) = lex_prefixed_string(&b, &mut i);
+                out.toks.push(tok(TokKind::Lit, text, start_line, depth));
+                line += nl;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_lifetime(&b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    let text: String = b[i + 1..j].iter().collect();
+                    out.toks.push(tok(TokKind::Lifetime, text, line, depth));
+                    i = j;
+                } else {
+                    let (text, nl) = lex_char(&b, &mut i);
+                    out.toks.push(tok(TokKind::Lit, text, line, depth));
+                    line += nl;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                out.toks.push(tok(TokKind::Ident, text, line, depth));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // `1.5` continues the number; `0..n` does not.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks
+                    .push(tok(TokKind::Num, b[i..j].iter().collect(), line, depth));
+                i = j;
+            }
+            '(' | '[' | '{' => {
+                out.toks
+                    .push(tok(TokKind::Punct, c.to_string(), line, depth));
+                depth += 1;
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                depth = depth.saturating_sub(1);
+                out.toks
+                    .push(tok(TokKind::Punct, c.to_string(), line, depth));
+                i += 1;
+            }
+            _ => {
+                out.toks
+                    .push(tok(TokKind::Punct, c.to_string(), line, depth));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: String, line: u32, depth: u32) -> Tok {
+    Tok {
+        kind,
+        text,
+        line,
+        depth,
+    }
+}
+
+/// Is `b[i]` (an `r` or `b`) the start of a raw/byte string or byte char?
+fn starts_string(b: &[char], i: usize) -> bool {
+    match b[i] {
+        'r' => matches!(b.get(i + 1), Some('"') | Some('#')) && raw_hashes_then_quote(b, i + 1),
+        'b' => match b.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => raw_hashes_then_quote(b, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From position `i`, do we see `#`*n then `"` (raw-string opener)?
+fn raw_hashes_then_quote(b: &[char], mut i: usize) -> bool {
+    while b.get(i) == Some(&'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&'"')
+}
+
+/// Lexes a plain `"…"` string with escapes; `i` starts at the quote.
+/// Returns (text, newline count).
+fn lex_string(b: &[char], i: &mut usize, _hashes: usize) -> (String, u32) {
+    let start = *i;
+    let mut nl = 0u32;
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            '\\' => *i += 2,
+            '"' => {
+                *i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    nl += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+    (b[start..(*i).min(b.len())].iter().collect(), nl)
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`; `i` starts at the
+/// prefix. Returns (text, newline count).
+fn lex_prefixed_string(b: &[char], i: &mut usize) -> (String, u32) {
+    let start = *i;
+    let mut raw = false;
+    if b[*i] == 'b' {
+        *i += 1;
+    }
+    if b.get(*i) == Some(&'r') {
+        raw = true;
+        *i += 1;
+    }
+    if b.get(*i) == Some(&'\'') {
+        // b'x' byte char.
+        let (_, nl) = lex_char(b, i);
+        return (b[start..(*i).min(b.len())].iter().collect(), nl);
+    }
+    let mut hashes = 0usize;
+    while b.get(*i) == Some(&'#') {
+        hashes += 1;
+        *i += 1;
+    }
+    let mut nl = 0u32;
+    if b.get(*i) == Some(&'"') {
+        *i += 1;
+        'scan: while *i < b.len() {
+            if !raw && b[*i] == '\\' {
+                *i += 2;
+                continue;
+            }
+            if b[*i] == '"' {
+                let mut j = *i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(j) == Some(&'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    *i = j;
+                    break 'scan;
+                }
+            }
+            if b[*i] == '\n' {
+                nl += 1;
+            }
+            *i += 1;
+        }
+    }
+    (b[start..(*i).min(b.len())].iter().collect(), nl)
+}
+
+/// Lexes a char literal `'…'`; `i` starts at the opening quote.
+fn lex_char(b: &[char], i: &mut usize) -> (String, u32) {
+    let start = *i;
+    *i += 1;
+    if b.get(*i) == Some(&'\\') {
+        *i += 2; // escape plus escaped char
+        while *i < b.len() && b[*i] != '\'' {
+            *i += 1; // \u{1F4A9}
+        }
+        *i += 1;
+    } else {
+        *i += 1; // the char
+        if b.get(*i) == Some(&'\'') {
+            *i += 1;
+        }
+    }
+    (b[start..(*i).min(b.len())].iter().collect(), 0)
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal) at index `i`
+/// (the `'`).
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(c) if c.is_alphabetic() || *c == '_' => {
+            let mut j = i + 2;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            b.get(j) != Some(&'\'')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let l = lex("let s = \"for x in map.iter()\"; // HashMap here\nlet t = 1;");
+        assert!(idents("let s = \"for x in map.iter()\";")
+            .iter()
+            .all(|i| i != "iter" && i != "map"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].trailing);
+        assert!(l.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let ids =
+            idents(r####"let x = r#"m.keys() 'a'"#; let c = 'k'; let lt: &'a str = s;"####);
+        assert!(ids.iter().all(|i| i != "keys"));
+        assert!(ids.iter().any(|i| i == "lt"));
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text == "'x'"));
+    }
+
+    #[test]
+    fn depth_tracks_all_bracket_kinds() {
+        let l = lex("fn f(a: u8) { g(h[i]); }");
+        let open_brace = l
+            .toks
+            .iter()
+            .find(|t| t.text == "{")
+            .expect("has open brace");
+        assert_eq!(open_brace.depth, 0);
+        let h = l.toks.iter().find(|t| t.text == "h").expect("has h");
+        assert_eq!(h.depth, 2); // inside fn body + g(..)
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..n {}");
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"n"));
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 2);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let l = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ let x = 1;"), vec!["let", "x"]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Determinism fixture: each function below leaks hash order or ambient
+//! time into protocol-visible state. Expected: three findings.
+
+use std::collections::HashMap;
+
+pub struct Gossip {
+    peers: HashMap<u64, u32>,
+}
+
+impl Gossip {
+    /// Direct iteration: which key comes first depends on the hasher.
+    pub fn first_peer(&self) -> Option<u64> {
+        for (id, _) in &self.peers {
+            return Some(*id);
+        }
+        None
+    }
+
+    /// `.keys()` feeding protocol output without sorting.
+    pub fn fanout(&self) -> Vec<u64> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Wall-clock time in protocol code.
+    pub fn stamp(&self) -> u64 {
+        let t = std::time::Instant::now();
+        let _ = t;
+        0
+    }
+}

@@ -1,0 +1,39 @@
+//! Determinism fixture: every hash-map use here is order-safe and must
+//! produce zero findings.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Router {
+    routes: HashMap<u64, u32>,
+}
+
+impl Router {
+    /// Collect-then-sort launders iteration order.
+    pub fn ordered_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.routes.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Order-insensitive terminal: the sum is the same in any order.
+    pub fn total(&self) -> u32 {
+        self.routes.values().copied().sum()
+    }
+
+    /// Collecting into an ordered sink defines the order.
+    pub fn as_tree(&self) -> BTreeMap<u64, u32> {
+        let tree: BTreeMap<u64, u32> = self.routes.iter().map(|(k, v)| (*k, *v)).collect();
+        tree
+    }
+
+    /// Keyed probing never observes iteration order.
+    pub fn hits(&self, keys: &[u64]) -> usize {
+        let mut hits = 0;
+        for k in keys {
+            if self.routes.contains_key(k) {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}

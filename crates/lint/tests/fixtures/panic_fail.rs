@@ -1,0 +1,15 @@
+//! Panic-safety fixture: each function below can kill a live node on
+//! hostile input. Expected: four findings.
+
+pub fn first(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn parse(buf: &[u8]) -> u32 {
+    let arr: [u8; 4] = buf[..4].try_into().unwrap();
+    u32::from_be_bytes(arr)
+}
+
+pub fn reject() -> u32 {
+    panic!("boom");
+}

@@ -1,0 +1,14 @@
+//! Panic-safety fixture: wire-facing code that degrades gracefully.
+//! Expected: zero findings.
+
+/// Decodes a length prefix without panicking on truncated input.
+pub fn read_len(buf: &[u8]) -> Option<u32> {
+    let head = buf.get(..4)?;
+    let arr: [u8; 4] = head.try_into().ok()?;
+    Some(u32::from_be_bytes(arr))
+}
+
+/// Full-range slices never panic.
+pub fn body(buf: &mut [u8]) -> &mut [u8] {
+    &mut buf[..]
+}

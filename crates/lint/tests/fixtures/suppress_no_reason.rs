@@ -1,0 +1,10 @@
+//! Suppression fixture: the directive is missing its mandatory reason.
+//! Expected: the original determinism finding survives AND the directive
+//! itself is reported.
+
+use std::collections::HashMap;
+
+pub fn spread(load: &HashMap<u64, u32>) -> Vec<u64> {
+    // cam-lint: allow(determinism)
+    load.keys().copied().collect()
+}

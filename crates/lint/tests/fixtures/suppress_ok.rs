@@ -1,0 +1,9 @@
+//! Suppression fixture: a justified, covering suppression. Expected:
+//! zero findings — the directive both silences the hit and is used.
+
+use std::collections::HashMap;
+
+pub fn spread(load: &HashMap<u64, u32>) -> Vec<u64> {
+    // cam-lint: allow(determinism, reason = "diagnostic dump; order is irrelevant to peers")
+    load.keys().copied().collect()
+}

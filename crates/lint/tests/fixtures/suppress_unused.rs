@@ -1,0 +1,7 @@
+//! Suppression fixture: a well-formed directive that covers nothing.
+//! Expected: one `suppression` finding (the stale escape hatch).
+
+pub fn quiet() -> u32 {
+    // cam-lint: allow(panic_safety, reason = "nothing here actually panics")
+    41 + 1
+}

@@ -1,0 +1,3 @@
+//! Unsafe-gate fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn not_ok() {}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+//! Unsafe-gate fixture: a compliant library crate root.
+
+pub fn ok() {}

@@ -1,0 +1,19 @@
+//! Wire fixture: a codec whose encode and decode paths cover every
+//! `MiniMsg` variant.
+
+pub fn put_msg(msg: &MiniMsg) -> u8 {
+    match msg {
+        MiniMsg::Ping => 0,
+        MiniMsg::Pong { .. } => 1,
+        MiniMsg::Data(_) => 2,
+    }
+}
+
+pub fn read_msg(tag: u8) -> Option<MiniMsg> {
+    match tag {
+        0 => Some(MiniMsg::Ping),
+        1 => Some(MiniMsg::Pong { token: 0 }),
+        2 => Some(MiniMsg::Data(Vec::new())),
+        _ => None,
+    }
+}

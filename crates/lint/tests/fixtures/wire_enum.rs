@@ -1,0 +1,14 @@
+//! Wire fixture: a miniature message enum for the exhaustiveness check.
+
+/// Three variants, all shapes: unit, struct, tuple.
+pub enum MiniMsg {
+    /// Liveness probe.
+    Ping,
+    /// Probe answer.
+    Pong {
+        /// Echoed token.
+        token: u64,
+    },
+    /// Opaque payload.
+    Data(Vec<u8>),
+}

@@ -1,0 +1,7 @@
+//! Wire fixture: round-trip coverage naming every `MiniMsg` variant.
+
+pub fn roundtrip_all() {
+    exercise(MiniMsg::Ping);
+    exercise(MiniMsg::Pong { token: 7 });
+    exercise(MiniMsg::Data(vec![1, 2, 3]));
+}

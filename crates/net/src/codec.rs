@@ -402,21 +402,23 @@ impl<'a> Reader<'a> {
         if end > self.buf.len() {
             return Err(WireError::Truncated);
         }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_be_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_be_bytes(bytes))
     }
 
     fn bool(&mut self) -> Result<bool, WireError> {

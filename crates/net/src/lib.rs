@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Networking for the CAM overlays: a versioned wire codec, pluggable
 //! transports, and a node runtime that takes the *same* `DhtActor` the
 //! simulator drives and runs it over a real (or realistically faulty)

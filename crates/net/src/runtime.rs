@@ -171,6 +171,7 @@ pub struct Cluster<P: DhtProtocol, T: Transport> {
     policy: RetransmitPolicy,
     now: SimTime,
     /// Wall-clock epoch; `Some` iff the transport runs in real time.
+    // cam-lint: allow(determinism, reason = "wall-clock epoch for real transports only; virtual-time runs keep this None and stay replayable")
     epoch: Option<std::time::Instant>,
     seed: u64,
     next_payload: u64,
@@ -208,6 +209,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             transport.endpoints(),
             n
         );
+        // cam-lint: allow(determinism, reason = "wall-clock epoch taken only for real (non-virtual) transports; seeded sim runs never reach it")
         let epoch = (!transport.is_virtual()).then(std::time::Instant::now);
         let mut cluster = Cluster {
             space,
@@ -229,19 +231,23 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             .map(|(i, m)| (m.id.value(), ActorId(i)))
             .collect();
         let ids: Vec<Id> = sorted.iter().map(|m| m.id).collect();
-        let owner_of = |k: Id| -> Member {
+        // `partition_point` can return `n`; wrap to the ring's first
+        // member. `get`-based so the whole constructor stays index-safe.
+        let owner_of = |k: Id| -> Option<Member> {
             let i = ids.partition_point(|&x| x < k);
-            sorted[if i == n { 0 } else { i }]
+            sorted.get(if i == n { 0 } else { i }).copied()
         };
         for (i, m) in sorted.iter().enumerate() {
             let mut actor = DhtActor::new(space, *m, protocol.clone());
             let succs: Vec<Member> = (1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)).max(1))
-                .map(|d| sorted[(i + d) % n])
+                .filter_map(|d| sorted.get((i + d) % n).copied())
                 .collect();
-            let pred = sorted[(i + n - 1) % n];
+            let pred = sorted.get((i + n - 1) % n).copied().unwrap_or(*m);
             let targets = protocol.neighbor_targets(space, m);
-            let fingers: Vec<(Id, Member)> =
-                targets.iter().map(|&t| (t, owner_of(t))).collect();
+            let fingers: Vec<(Id, Member)> = targets
+                .iter()
+                .filter_map(|&t| owner_of(t).map(|owner| (t, owner)))
+                .collect();
             actor.seed_state(succs, pred, fingers);
             actor.set_directory(directory.clone());
             cluster.nodes.push(NodeRuntime::new(i, actor, seed));
@@ -256,7 +262,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut timers = std::mem::take(&mut self.scratch_timers);
         {
-            let nd = &mut self.nodes[i];
+            let nd = self.node_at_mut(i);
             let mut drv = Outbox {
                 me: ActorId(i),
                 sends: &mut sends,
@@ -301,8 +307,31 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
 
     /// The runtime hosting node `i` (in ring order for seeded nodes, then
     /// join order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` — node indices are part of the caller's
+    /// contract, exactly like slice indexing.
     pub fn node(&self, i: usize) -> &NodeRuntime<P> {
+        self.node_at(i)
+    }
+
+    /// Shared access to node `i`. The only raw `nodes[…]` index in the
+    /// runtime: every internal caller passes an index from a
+    /// `0..self.nodes.len()` loop or an iterator position, wire-derived
+    /// indices are bounds-checked before reaching here
+    /// ([`Cluster::handle_frame`]), and public entry points document the
+    /// panic as their caller contract.
+    fn node_at(&self, i: usize) -> &NodeRuntime<P> {
+        // cam-lint: allow(panic_safety, reason = "single audited index; callers pass loop-bounded or pre-checked indices, never raw wire input")
         &self.nodes[i]
+    }
+
+    /// Exclusive access to node `i`; same index contract as
+    /// [`Cluster::node_at`].
+    fn node_at_mut(&mut self, i: usize) -> &mut NodeRuntime<P> {
+        // cam-lint: allow(panic_safety, reason = "single audited index; callers pass loop-bounded or pre-checked indices, never raw wire input")
+        &mut self.nodes[i]
     }
 
     /// The underlying transport (for counters and addresses).
@@ -318,8 +347,12 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     /// Crash-kills node `i`: its timers and retransmissions stop and
     /// frames addressed to it are ignored, like a dead UDP host. Peers
     /// discover the crash through failure detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
     pub fn kill(&mut self, i: usize) {
-        let nd = &mut self.nodes[i];
+        let nd = self.node_at_mut(i);
         nd.alive = false;
         nd.timers.clear();
         nd.awaiting_ack.clear();
@@ -345,7 +378,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         if idx >= self.transport.endpoints() {
             return None;
         }
-        let bootstrap = (0..self.nodes.len()).find(|&i| self.nodes[i].alive)?;
+        let bootstrap = self.nodes.iter().position(|nd| nd.alive)?;
         let mut actor = DhtActor::new(self.space, member, self.protocol.clone());
         let mut directory: HashMap<u64, ActorId> = self
             .nodes
@@ -365,7 +398,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
 
     fn send_join_request(&mut self, joiner: usize, bootstrap: usize) {
         let msg = DhtMsg::JoinRequest {
-            joiner: *self.nodes[joiner].actor.member(),
+            joiner: *self.node_at(joiner).actor.member(),
             joiner_actor: ActorId(joiner),
         };
         self.send_msg(joiner, ActorId(bootstrap), msg);
@@ -389,21 +422,28 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             let slice = retry_every.min(timeout);
             self.run_for(slice);
             waited = Duration::from_micros(waited.micros() + slice.micros());
-            if self.nodes[idx].actor.is_joined() {
+            if self.node_at(idx).actor.is_joined() {
                 return true;
             }
-            if let Some(bootstrap) = (0..self.nodes.len())
-                .find(|&i| self.nodes[i].alive && i != idx && self.nodes[i].actor.is_joined())
+            if let Some(bootstrap) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .position(|(i, nd)| nd.alive && i != idx && nd.actor.is_joined())
             {
                 self.send_join_request(idx, bootstrap);
             }
         }
-        self.nodes[idx].actor.is_joined()
+        self.node_at(idx).actor.is_joined()
     }
 
     /// Initiates a multicast at node `source` carrying `data`, returning
     /// the payload id. `region_split` chooses CAM-Chord region multicast
     /// over constrained flooding, as in the sim harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= self.len()`.
     pub fn start_multicast(
         &mut self,
         source: usize,
@@ -412,7 +452,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     ) -> u64 {
         let payload = self.next_payload;
         self.next_payload += 1;
-        let member_id = self.nodes[source].actor.member().id;
+        let member_id = self.node_at(source).actor.member().id;
         let region = region_split.then(|| Segment::all_but(self.space, member_id));
         self.dispatch(
             source,
@@ -556,11 +596,19 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     }
 
     fn handle_frame(&mut self, to: usize, bytes: &[u8]) {
+        if to >= self.nodes.len() {
+            // The transport may own more endpoints than attached nodes
+            // (spare sockets held for `join`); a datagram arriving on a
+            // spare endpoint has no node to deliver to. Real sockets can
+            // see this from any stray sender — count it, never index.
+            self.transport.counters_mut().internal_errors += 1;
+            return;
+        }
         match decode_frame(bytes) {
             Err(_) => self.transport.counters_mut().frames_rejected += 1,
             Ok(Frame::Ack { seq, .. }) => {
                 self.transport.counters_mut().frames_decoded += 1;
-                self.nodes[to].awaiting_ack.remove(&seq);
+                self.node_at_mut(to).awaiting_ack.remove(&seq);
             }
             Ok(Frame::Data {
                 from,
@@ -577,15 +625,20 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
                     return;
                 }
                 if ack_required {
-                    let ack = encode_frame(&Frame::Ack {
+                    match encode_frame(&Frame::Ack {
                         from: to as u64,
                         seq,
-                    })
-                    .expect("ack frames always fit");
-                    self.transport.counters_mut().frames_encoded += 1;
-                    self.transport.send(self.now, to, from, &ack);
+                    }) {
+                        Ok(ack) => {
+                            self.transport.counters_mut().frames_encoded += 1;
+                            self.transport.send(self.now, to, from, &ack);
+                        }
+                        // An ack is a few bytes; failing to encode one is
+                        // an internal bug — counted, not fatal.
+                        Err(_) => self.transport.counters_mut().internal_errors += 1,
+                    }
                 }
-                if self.nodes[to].alive {
+                if self.node_at(to).alive {
                     self.dispatch(to, ActorId(from), msg);
                 }
             }
@@ -597,7 +650,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut timers = std::mem::take(&mut self.scratch_timers);
         {
-            let nd = &mut self.nodes[i];
+            let nd = self.node_at_mut(i);
             let mut drv = Outbox {
                 me: ActorId(i),
                 sends: &mut sends,
@@ -621,7 +674,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     ) {
         for (delay, tag) in timers.drain(..) {
             let at = self.now + delay;
-            self.nodes[i].push_timer(at, tag);
+            self.node_at_mut(i).push_timer(at, tag);
         }
         for (to, msg) in sends.drain(..) {
             self.send_msg(i, to, msg);
@@ -636,8 +689,9 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             return; // stale address: lost, like the sim's unknown actor
         }
         let needs_ack = matches!(msg, DhtMsg::Multicast { .. } | DhtMsg::PayloadPush { .. });
-        let seq = self.nodes[i].next_seq;
-        self.nodes[i].next_seq += 1;
+        let nd = self.node_at_mut(i);
+        let seq = nd.next_seq;
+        nd.next_seq += 1;
         let frame = Frame::Data {
             from: i as u64,
             seq,
@@ -654,16 +708,14 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             Ok(bytes) => {
                 self.transport.counters_mut().frames_encoded += 1;
                 if needs_ack {
-                    self.nodes[i].awaiting_ack.insert(
-                        seq,
-                        PendingAck {
-                            to,
-                            frame: bytes.clone(),
-                            attempts: 1,
-                            rto: self.policy.initial_rto,
-                            next_at: self.now + self.policy.initial_rto,
-                        },
-                    );
+                    let pending = PendingAck {
+                        to,
+                        frame: bytes.clone(),
+                        attempts: 1,
+                        rto: self.policy.initial_rto,
+                        next_at: self.now + self.policy.initial_rto,
+                    };
+                    self.node_at_mut(i).awaiting_ack.insert(seq, pending);
                 }
                 self.transport.send(self.now, i, to, &bytes);
             }
@@ -674,19 +726,19 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     /// anything fired.
     fn pump_node(&mut self, i: usize) -> bool {
         let mut did = false;
-        while let Some(&Reverse((at, _, tag))) = self.nodes[i].timers.peek() {
+        while let Some(&Reverse((at, _, tag))) = self.node_at(i).timers.peek() {
             if at > self.now {
                 break;
             }
-            self.nodes[i].timers.pop();
-            if !self.nodes[i].alive {
+            self.node_at_mut(i).timers.pop();
+            if !self.node_at(i).alive {
                 continue;
             }
             did = true;
             let mut sends = std::mem::take(&mut self.scratch_sends);
             let mut timers = std::mem::take(&mut self.scratch_timers);
             {
-                let nd = &mut self.nodes[i];
+                let nd = self.node_at_mut(i);
                 let mut drv = Outbox {
                     me: ActorId(i),
                     sends: &mut sends,
@@ -699,10 +751,11 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             self.scratch_sends = sends;
             self.scratch_timers = timers;
         }
-        if !self.nodes[i].alive {
+        if !self.node_at(i).alive {
             return did;
         }
-        let mut due: Vec<u64> = self.nodes[i]
+        let mut due: Vec<u64> = self
+            .node_at(i)
             .awaiting_ack
             .iter()
             .filter(|(_, p)| p.next_at <= self.now)
@@ -714,17 +767,17 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         for seq in due {
             did = true;
             let policy = self.policy;
-            let p = self.nodes[i]
-                .awaiting_ack
-                .get_mut(&seq)
-                .expect("collected above");
+            let now = self.now;
+            let Some(p) = self.node_at_mut(i).awaiting_ack.get_mut(&seq) else {
+                continue; // acked between collection and retransmission
+            };
             if p.attempts >= policy.max_attempts {
-                self.nodes[i].awaiting_ack.remove(&seq);
+                self.node_at_mut(i).awaiting_ack.remove(&seq);
                 continue;
             }
             p.attempts += 1;
             p.rto = p.rto.saturating_mul(2).min(policy.max_rto);
-            p.next_at = self.now + p.rto;
+            p.next_at = now + p.rto;
             let (to, bytes) = (p.to, p.frame.clone());
             self.transport.counters_mut().frames_retransmitted += 1;
             self.transport.send(self.now, i, to, &bytes);

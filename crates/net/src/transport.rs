@@ -34,6 +34,11 @@ pub struct WireCounters {
     pub frames_dropped: u64,
     /// Retransmissions of unacknowledged frames.
     pub frames_retransmitted: u64,
+    /// Internal invariant violations absorbed gracefully instead of
+    /// panicking (an ack that failed to encode, a receive length out of
+    /// range, a frame for an endpoint that was never bound). Nonzero
+    /// values indicate a runtime bug — counted, never fatal.
+    pub internal_errors: u64,
 }
 
 /// A bidirectional frame mover between `endpoints()` numbered endpoints.
@@ -173,13 +178,13 @@ impl Transport for InMemoryTransport {
     }
 
     fn poll(&mut self, now: SimTime) -> Option<(usize, Vec<u8>)> {
-        if self.queue.peek().is_some_and(|Reverse(f)| f.at <= now) {
-            let Reverse(f) = self.queue.pop().expect("peeked");
-            self.counters.bytes_received += f.frame.len() as u64;
-            Some((f.to, f.frame))
-        } else {
-            None
+        match self.queue.peek() {
+            Some(Reverse(f)) if f.at <= now => {}
+            _ => return None,
         }
+        let Reverse(f) = self.queue.pop()?;
+        self.counters.bytes_received += f.frame.len() as u64;
+        Some((f.to, f.frame))
     }
 
     fn next_ready(&self) -> Option<SimTime> {

@@ -48,7 +48,13 @@ impl UdpTransport {
     }
 
     /// The socket address endpoint `i` is bound to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a bound endpoint — endpoint indices are part
+    /// of the caller's contract, exactly like slice indexing.
     pub fn addr(&self, i: usize) -> SocketAddr {
+        // cam-lint: allow(panic_safety, reason = "documented caller contract; `i` never comes off the wire")
         self.addrs[i]
     }
 }
@@ -60,7 +66,14 @@ impl Transport for UdpTransport {
 
     fn send(&mut self, _now: SimTime, from: usize, to: usize, frame: &[u8]) {
         self.counters.bytes_sent += frame.len() as u64;
-        match self.sockets[from].send_to(frame, self.addrs[to]) {
+        let (Some(socket), Some(dest)) = (self.sockets.get(from), self.addrs.get(to)) else {
+            // An out-of-range endpoint is a runtime bug, not a reason for
+            // a live node to die: count it and treat the frame as lost.
+            self.counters.internal_errors += 1;
+            self.counters.frames_dropped += 1;
+            return;
+        };
+        match socket.send_to(frame, dest) {
             Ok(_) => {}
             // A full socket buffer or transient error is datagram loss;
             // the retransmit layer recovers.
@@ -72,11 +85,20 @@ impl Transport for UdpTransport {
         let n = self.sockets.len();
         for off in 0..n {
             let i = (self.cursor + off) % n;
-            match self.sockets[i].recv_from(&mut self.buf[..]) {
+            let Some(socket) = self.sockets.get(i) else {
+                continue;
+            };
+            match socket.recv_from(self.buf.as_mut_slice()) {
                 Ok((len, _peer)) => {
                     self.cursor = (i + 1) % n;
                     self.counters.bytes_received += len as u64;
-                    return Some((i, self.buf[..len].to_vec()));
+                    let Some(frame) = self.buf.get(..len) else {
+                        // The kernel reported more bytes than the buffer
+                        // holds — impossible, but counted rather than fatal.
+                        self.counters.internal_errors += 1;
+                        return None;
+                    };
+                    return Some((i, frame.to_vec()));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
                 // Treat transient per-socket errors as an empty poll.

@@ -134,6 +134,41 @@ proptest! {
     }
 }
 
+/// Deterministic, bounded round-trip across every variant: the subset the
+/// CI miri job interprets (`cargo miri test -p cam-net --test
+/// codec_roundtrip bounded_roundtrip`). Small enough for an interpreter,
+/// but still covering every encode/decode arm with non-trivial contents.
+#[test]
+fn bounded_roundtrip_all_variants() {
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+    for round in 0..4u64 {
+        for tag in 0u8..13 {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(round | 1);
+            let ids = [seed, seed ^ 1, seed.rotate_left(31)];
+            let data = [tag; 48];
+            let msg = msg_from(
+                tag,
+                seed,
+                seed.rotate_left(17) ^ 0xD1B5_4A32_D192_ED03,
+                (seed % 97) as u32,
+                &ids,
+                &data,
+            );
+            let frame = Frame::Data {
+                from: round,
+                seq: seed,
+                ack_required: tag & 1 == 0,
+                msg: msg.clone(),
+            };
+            let bytes = encode_frame(&frame).expect("bounded frames fit");
+            assert_eq!(bytes.len(), wire_cost(&msg));
+            assert_eq!(decode_frame(&bytes).expect("round-trip decodes"), frame);
+        }
+    }
+}
+
 #[test]
 fn every_truncation_is_rejected() {
     for msg in sample_msgs() {

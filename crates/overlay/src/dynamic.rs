@@ -367,11 +367,11 @@ impl<P: DhtProtocol> DhtActor<P> {
         &mut self,
         successors: Vec<Member>,
         predecessor: Member,
-        fingers: Vec<(Id, Member)>,
+        finger_seeds: Vec<(Id, Member)>,
     ) {
         self.successors = successors;
         self.predecessor = Some(predecessor);
-        for (t, m) in fingers {
+        for (t, m) in finger_seeds {
             self.fingers.insert(t.value(), m);
         }
         self.joined = true;

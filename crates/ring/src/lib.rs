@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 //! Identifier-ring arithmetic for capacity-aware multicast overlays.
 //!

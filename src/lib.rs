@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # cam — Resilient Capacity-Aware Multicast on Structured Overlays
