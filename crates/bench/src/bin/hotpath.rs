@@ -18,6 +18,10 @@
 //! Uses `std::time` only (criterion is a dev-dependency, unavailable to
 //! binaries) and a deterministic splitmix64 key stream instead of an RNG,
 //! so runs are reproducible modulo machine noise.
+//!
+//! Each section is wrapped in a [`PhaseClock`] span; the per-stage wall
+//! time lands in the JSON under an additive `"phases"` key so a regression
+//! can be attributed to a stage without re-running the harness.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -29,7 +33,56 @@ use cam_experiments::runner::{parallel_sweep, sample_distinct_sources, sample_tr
 use cam_experiments::Options;
 use cam_overlay::{MemberSet, StaticOverlay};
 use cam_ring::Id;
+use cam_trace::{EventKind, RecordingTracer, Tracer};
 use cam_workload::{BandwidthDist, CapacityAssignment, Scenario};
+
+/// Attributes wall-clock time to named harness stages as
+/// [`EventKind::PhaseBegin`]/[`EventKind::PhaseEnd`] span pairs in a
+/// [`RecordingTracer`] — the same event stream the runtimes emit, so the
+/// bench's own staging shows up in a Chrome trace like everything else.
+/// (`Instant` is fine here: the harness measures real time by design and
+/// `bin/` targets are outside the determinism rule.)
+struct PhaseClock {
+    tracer: RecordingTracer,
+    epoch: Instant,
+}
+
+impl PhaseClock {
+    fn new() -> Self {
+        PhaseClock {
+            tracer: RecordingTracer::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let at = self.epoch.elapsed().as_micros() as u64;
+        self.tracer.record(at, 0, EventKind::PhaseBegin { name });
+        let out = f();
+        let at = self.epoch.elapsed().as_micros() as u64;
+        self.tracer.record(at, 0, EventKind::PhaseEnd { name });
+        out
+    }
+
+    /// `(name, seconds)` per completed phase, in begin order.
+    fn spans(&self) -> Vec<(&'static str, f64)> {
+        let mut open: Vec<(&'static str, u64)> = Vec::new();
+        let mut out = Vec::new();
+        for e in self.tracer.events() {
+            match e.kind {
+                EventKind::PhaseBegin { name } => open.push((name, e.at_micros)),
+                EventKind::PhaseEnd { name } => {
+                    if let Some(pos) = open.iter().rposition(|&(n, _)| n == name) {
+                        let (_, begin) = open.remove(pos);
+                        out.push((name, (e.at_micros - begin) as f64 / 1e6));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) for key streams.
 fn mix64(mut z: u64) -> u64 {
@@ -235,35 +288,48 @@ fn main() {
         .unwrap_or(1);
     eprintln!("hotpath: {threads} hardware threads");
 
-    let resolution: Vec<ResolutionRow> = [(4_000usize, 2_000_000usize), (100_000, 2_000_000)]
-        .into_iter()
-        .map(|(n, lookups)| {
-            let row = bench_resolution(n, lookups);
-            eprintln!(
+    let mut clock = PhaseClock::new();
+
+    let resolution: Vec<ResolutionRow> = clock.time("owner_resolution", || {
+        [(4_000usize, 2_000_000usize), (100_000, 2_000_000)]
+            .into_iter()
+            .map(|(n, lookups)| {
+                let row = bench_resolution(n, lookups);
+                eprintln!(
                 "owner_idx         n={:>6}: indexed {:.1} Mops/s, binsearch {:.1} Mops/s ({:.2}x)",
                 row.n, row.indexed_mops, row.binsearch_mops, row.speedup
             );
-            row
-        })
-        .collect();
+                row
+            })
+            .collect()
+    });
 
-    let tree: Vec<TreeRow> = [(4_000usize, 64usize), (100_000, 6)]
-        .into_iter()
-        .map(|(n, trees)| {
-            let row = bench_tree_build(n, trees);
-            eprintln!(
+    let tree: Vec<TreeRow> = clock.time("tree_build", || {
+        [(4_000usize, 64usize), (100_000, 6)]
+            .into_iter()
+            .map(|(n, trees)| {
+                let row = bench_tree_build(n, trees);
+                eprintln!(
                 "multicast_tree    n={:>6}: current {:.1} trees/s, baseline {:.1} trees/s ({:.2}x)",
                 row.n, row.current_trees_per_sec, row.baseline_trees_per_sec, row.speedup
             );
-            row
-        })
-        .collect();
+                row
+            })
+            .collect()
+    });
 
-    let sweep = bench_fig6_quick_sweep(&Options::quick());
+    let sweep = clock.time("fig6_quick_sweep", || {
+        bench_fig6_quick_sweep(&Options::quick())
+    });
     eprintln!(
         "fig6 quick sweep  n={:>6}: current {:.1} trees/s, baseline {:.1} trees/s ({:.2}x)",
         sweep.n, sweep.current_trees_per_sec, sweep.baseline_trees_per_sec, sweep.speedup
     );
+
+    let phases = clock.spans();
+    for (name, secs) in &phases {
+        eprintln!("phase             {name:<18} {secs:.2}s");
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -292,6 +358,16 @@ fn main() {
             num(r.baseline_trees_per_sec),
             num(r.speedup),
             if i + 1 < tree.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"phases\": [\n");
+    for (i, (name, secs)) in phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {}}}{}\n",
+            name,
+            num(*secs),
+            if i + 1 < phases.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -2,7 +2,8 @@
 //! plain-text tables on stdout and CSV files under `results/`.
 //!
 //! ```text
-//! repro [--quick] [--plot] [--n <size>] [--sources <k>] [--out <dir>] [FIGURE...]
+//! repro [--quick] [--plot] [--n <size>] [--sources <k>] [--out <dir>]
+//!       [--trace-out <file>] [FIGURE...]
 //!
 //! FIGURE: fig6 fig7 fig8 fig9 fig10 fig11 resilience overhead ablation
 //!         lookup all        (default: all)
@@ -11,6 +12,9 @@
 //! --n         explicit group size
 //! --sources   multicast sources sampled per configuration
 //! --out       output directory for CSVs (default: results)
+//! --trace-out capture one Ext-A resilience run as Chrome Trace Event
+//!             Format JSON at <file> (open in chrome://tracing/Perfetto);
+//!             a text summary goes to stderr
 //! ```
 
 use std::process::ExitCode;
@@ -23,6 +27,7 @@ fn main() -> ExitCode {
     let mut opts = Options::paper();
     let mut out_dir = "results".to_string();
     let mut plot = false;
+    let mut trace_out: Option<String> = None;
     let mut figures: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -44,13 +49,19 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = dir,
                 None => return usage("--out needs a directory"),
             },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => return usage("--trace-out needs a file path"),
+            },
             "--plot" => plot = true,
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
             fig => figures.push(fig.to_string()),
         }
     }
-    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+    // `--trace-out` with no figure names is a pure trace capture; naming
+    // figures (or `all`) alongside it runs both.
+    if figures.iter().any(|f| f == "all") || (figures.is_empty() && trace_out.is_none()) {
         figures = [
             "fig6",
             "fig7",
@@ -79,6 +90,20 @@ fn main() -> ExitCode {
         "# n = {}, sources = {}, seed = {:#x}",
         opts.n, opts.sources, opts.seed
     );
+    if let Some(path) = &trace_out {
+        let started = std::time::Instant::now();
+        let rec = ext::resilience_trace(&opts);
+        eprint!("{}", rec.text_report());
+        if let Err(e) = std::fs::write(path, rec.chrome_trace_json()) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "# wrote {path} ({} events, {:.1}s)",
+            rec.len(),
+            started.elapsed().as_secs_f64()
+        );
+    }
     for fig in &figures {
         let started = std::time::Instant::now();
         let table: DataTable = match fig.as_str() {
@@ -121,6 +146,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--quick] [--plot] [--n SIZE] [--sources K] [--out DIR] \
+         [--trace-out FILE] \
          [fig6|fig7|fig8|fig9|fig10|fig11|resilience|overhead|ablation|lookup|load|churn|proximity|loss|theory|heterogeneity|stability|all]..."
     );
     if err.is_empty() {

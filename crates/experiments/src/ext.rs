@@ -109,6 +109,51 @@ fn run_crash_multicast<P: DhtProtocol>(
     (before, after)
 }
 
+/// One Ext-A-style resilience run (20% crashes, multicast before and
+/// after stabilization repair) captured as a full event trace — the run
+/// behind `repro --trace-out`. Returns the tracer holding the recorded
+/// events plus a telemetry snapshot of the simulator's counters.
+pub fn resilience_trace(opts: &Options) -> cam_trace::RecordingTracer {
+    let n = opts.n.min(600);
+    let seed = opts.sub_seed(0xEA);
+    let members: Vec<_> = Scenario::paper_default(seed)
+        .with_n(n)
+        .members()
+        .iter()
+        .copied()
+        .collect();
+    let latency = LatencyModel::Uniform {
+        min: Duration::from_millis(20),
+        max: Duration::from_millis(80),
+    };
+    let mut net = DynamicNetwork::converged(
+        cam_ring::IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        seed,
+        latency,
+    );
+    net.sim
+        .set_tracer(Box::new(cam_trace::RecordingTracer::new()));
+    let (before, after) = run_crash_multicast(&mut net, 0.20, true, seed);
+
+    let stats = net.sim.stats();
+    let tracer = net.sim.tracer_mut();
+    tracer.counter_add("sim.messages_sent", stats.sent);
+    tracer.counter_add("sim.messages_delivered", stats.delivered);
+    tracer.counter_add("sim.messages_dropped", stats.dropped);
+    tracer.counter_add("sim.timer_firings", stats.timers);
+    tracer.counter_add("sim.events", stats.events);
+    // Delivery ratios as per-mille gauges (the registry is integral).
+    tracer.gauge_set("sim.delivery_before_permille", (before * 1000.0) as i64);
+    tracer.gauge_set("sim.delivery_after_permille", (after * 1000.0) as i64);
+    net.sim
+        .take_tracer()
+        .as_recording()
+        .cloned()
+        .expect("a recording tracer was installed above")
+}
+
 /// Ext-B: maintenance overhead — distinct overlay neighbors per node as
 /// capacity grows. CAM-Chord pays `O(c · log n / log c)`; CAM-Koorde pays
 /// exactly `c` slots (fewer after deduplication).
@@ -324,18 +369,25 @@ pub fn churn(opts: &Options) -> DataTable {
     );
 
     let run = |region_split: bool, seed: u64| -> Vec<(f64, f64)> {
-        let members: Vec<_> = Scenario::paper_default(seed)
-            .with_n(n)
-            .members()
-            .iter()
-            .copied()
-            .collect();
+        let scenario = Scenario::paper_default(seed).with_n(n);
+        let members: Vec<_> = scenario.members().iter().copied().collect();
         let space = cam_ring::IdSpace::PAPER;
         let latency = LatencyModel::Uniform {
             min: Duration::from_millis(20),
             max: Duration::from_millis(80),
         };
-        let trace = ChurnTrace::generate(space, &members, 120, 400_000.0, 0.5, seed ^ 0xF);
+        // Joining members draw from the scenario's configured workload,
+        // so churn cannot silently skew bandwidths or capacities.
+        let trace = ChurnTrace::generate_with(
+            space,
+            &members,
+            120,
+            400_000.0,
+            0.5,
+            seed ^ 0xF,
+            &scenario.bandwidth,
+            &scenario.capacity,
+        );
         let mut deliveries = Vec::new();
         if region_split {
             let mut net = DynamicNetwork::converged(

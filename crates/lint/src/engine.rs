@@ -4,8 +4,9 @@
 //! Scope is by construction, not configuration:
 //!
 //! * **determinism** — `src/` of the protocol crates `core`, `overlay`,
-//!   `sim`, `net` (the crates whose state machines must replay
-//!   bit-identically under a fixed seed);
+//!   `sim`, `net`, `trace` (the crates whose state machines must replay
+//!   bit-identically under a fixed seed; the tracer records replayed
+//!   runs, so it must not smuggle in wall-clock time of its own);
 //! * **panic_safety** — `src/` of `net` (runtime, codec, transports: the
 //!   code a hostile or lossy wire exercises);
 //! * **unsafe_code** — every library crate root (`crates/*/src/lib.rs`
@@ -25,7 +26,7 @@ use std::path::{Path, PathBuf};
 use crate::rules::{analyze_file, check_wire, FileCtx, Finding, Rule, WireSources};
 
 /// Crates whose protocol state machines must be deterministic.
-const PROTOCOL_CRATES: &[&str] = &["core", "overlay", "sim", "net"];
+const PROTOCOL_CRATES: &[&str] = &["core", "overlay", "sim", "net", "trace"];
 
 /// Crates whose non-test code must be panic-free.
 const PANIC_FREE_CRATES: &[&str] = &["net"];

@@ -26,6 +26,13 @@ impl Router {
         tree
     }
 
+    /// Collecting into the tracer also defines the order: a
+    /// `RecordingTracer` is an append-only ring replayed in `seq` order.
+    pub fn as_trace(&self) -> RecordingTracer {
+        let rec: RecordingTracer = self.routes.iter().map(|(k, v)| (*k, *v)).collect();
+        rec
+    }
+
     /// Keyed probing never observes iteration order.
     pub fn hits(&self, keys: &[u64]) -> usize {
         let mut hits = 0;

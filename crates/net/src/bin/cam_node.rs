@@ -1,15 +1,22 @@
-//! `cam-node` — stand up a real N-node CAM overlay on loopback UDP and
-//! push one multicast through it.
+//! `cam-node` — stand up a real N-node CAM overlay and push one multicast
+//! through it.
 //!
 //! Every node is a full `DhtActor` (the same protocol logic the simulator
-//! and the paper experiments use) hosted by the `cam-net` runtime over
-//! non-blocking UDP sockets on `127.0.0.1`. The tool bootstraps the
-//! cluster, lets stabilization run, multicasts a payload from node 0, and
-//! reports delivery ratio, hop counts, and wire-level byte/frame counters.
+//! and the paper experiments use) hosted by the `cam-net` runtime, either
+//! over non-blocking UDP sockets on `127.0.0.1` (the default) or over the
+//! deterministic in-memory wire (`--mem`), which also supports seeded
+//! frame-loss injection (`--loss`). The tool bootstraps the cluster, lets
+//! stabilization run, multicasts a payload from node 0, and reports
+//! delivery ratio, hop counts, and wire-level byte/frame counters.
 //!
 //! ```text
 //! cam-node [N] [--koorde] [--payload BYTES] [--seed SEED]
+//!          [--mem] [--loss P] [--trace-out FILE]
 //! ```
+//!
+//! `--trace-out FILE` installs a recording tracer and writes the run's
+//! events as Chrome Trace Event Format JSON (open in `chrome://tracing`
+//! or Perfetto); a text summary goes to stdout.
 
 use std::process::ExitCode;
 
@@ -17,19 +24,27 @@ use bytes::Bytes;
 use cam_core::cam_chord::CamChordProtocol;
 use cam_core::cam_koorde::CamKoordeProtocol;
 use cam_net::runtime::{Cluster, RetransmitPolicy};
+use cam_net::transport::{InMemoryTransport, Transport};
 use cam_net::udp::UdpTransport;
 use cam_overlay::dynamic::DhtProtocol;
 use cam_overlay::Member;
 use cam_ring::{Id, IdSpace};
 use cam_sim::rng::SimRng;
-use cam_sim::Duration;
+use cam_sim::{Duration, LatencyModel};
+use cam_trace::RecordingTracer;
 
 struct Options {
     n: usize,
     koorde: bool,
     payload: usize,
     seed: u64,
+    mem: bool,
+    loss: f64,
+    trace_out: Option<String>,
 }
+
+const USAGE: &str = "usage: cam-node [N] [--koorde] [--payload BYTES] [--seed SEED] \
+     [--mem] [--loss P] [--trace-out FILE]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -37,6 +52,9 @@ fn parse_args() -> Result<Options, String> {
         koorde: false,
         payload: 256,
         seed: 42,
+        mem: false,
+        loss: 0.0,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     let mut saw_n = false;
@@ -44,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--koorde" => opts.koorde = true,
             "--chord" => opts.koorde = false,
+            "--mem" => opts.mem = true,
             "--payload" => {
                 let v = args.next().ok_or("--payload needs a byte count")?;
                 opts.payload = v.parse().map_err(|_| format!("bad --payload {v:?}"))?;
@@ -52,12 +71,18 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: cam-node [N] [--koorde] [--payload BYTES] [--seed SEED]"
-                        .to_string(),
-                )
+            "--loss" => {
+                let v = args.next().ok_or("--loss needs a probability")?;
+                opts.loss = v.parse().map_err(|_| format!("bad --loss {v:?}"))?;
+                if !(0.0..=1.0).contains(&opts.loss) {
+                    return Err(format!("--loss {} out of [0, 1]", opts.loss));
+                }
             }
+            "--trace-out" => {
+                let v = args.next().ok_or("--trace-out needs a file path")?;
+                opts.trace_out = Some(v);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other if !saw_n => {
                 opts.n = other
                     .parse()
@@ -69,6 +94,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.n < 2 {
         return Err("need at least 2 nodes".to_string());
+    }
+    if opts.loss > 0.0 && !opts.mem {
+        return Err("--loss needs --mem (loss injection is in-memory only)".to_string());
     }
     Ok(opts)
 }
@@ -88,28 +116,14 @@ fn make_members(space: IdSpace, n: usize, seed: u64) -> Vec<Member> {
     members
 }
 
-fn run<P: DhtProtocol>(opts: &Options, protocol: P, region_split: bool) -> ExitCode {
+fn run<P: DhtProtocol, T: Transport>(
+    opts: &Options,
+    protocol: P,
+    region_split: bool,
+    transport: T,
+) -> ExitCode {
     let space = IdSpace::PAPER;
     let members = make_members(space, opts.n, opts.seed);
-    let transport = match UdpTransport::bind(opts.n) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cam-node: cannot bind {} loopback sockets: {e}", opts.n);
-            return ExitCode::FAILURE;
-        }
-    };
-    println!(
-        "cam-node: {} nodes ({}) on 127.0.0.1, ports {}..{}",
-        opts.n,
-        if opts.koorde {
-            "CAM-Koorde"
-        } else {
-            "CAM-Chord"
-        },
-        transport.addr(0).port(),
-        transport.addr(opts.n - 1).port(),
-    );
-
     let mut cluster = Cluster::converged(
         space,
         &members,
@@ -118,14 +132,26 @@ fn run<P: DhtProtocol>(opts: &Options, protocol: P, region_split: bool) -> ExitC
         transport,
         RetransmitPolicy::default(),
     );
-    cluster.set_maintenance_period(Duration::from_millis(100));
+    if let Some(path) = &opts.trace_out {
+        println!("tracing to {path}");
+        cluster.set_tracer(Box::new(RecordingTracer::new()));
+    }
+    if !opts.mem {
+        // Real time: compress maintenance so convergence takes wall-clock
+        // seconds. Virtual time (--mem) keeps the protocol's own period —
+        // a 100ms ping cycle under heavy loss would strike out live
+        // neighbors faster than stabilization can re-learn them.
+        cluster.set_maintenance_period(Duration::from_millis(100));
+    }
 
-    // Let a few stabilization rounds run over the real wire.
+    // Let a few stabilization rounds run over the wire.
     cluster.run_for(Duration::from_millis(800));
 
     let data = Bytes::from(vec![0xCAu8; opts.payload]);
     let payload = cluster.start_multicast(0, region_split, data);
-    let done = cluster.run_until(Duration::from_secs(10), |c| {
+    // A lossy wire needs retransmission backoff room to converge.
+    let deadline = if opts.loss > 0.0 { 60 } else { 10 };
+    let done = cluster.run_until(Duration::from_secs(deadline), |c| {
         c.delivery_ratio(payload) >= 1.0
     });
     // Let straggler acks drain so the counters are settled.
@@ -141,21 +167,71 @@ fn run<P: DhtProtocol>(opts: &Options, protocol: P, region_split: bool) -> ExitC
         cluster.max_hops(payload),
     );
     println!(
-        "wire: {} B sent / {} B received; frames {} encoded, {} decoded, {} rejected, {} dropped, {} retransmitted",
+        "wire: {} B sent / {} B received; frames {} encoded, {} decoded, {} rejected, {} oversize, {} dropped, {} retransmitted",
         c.bytes_sent,
         c.bytes_received,
         c.frames_encoded,
         c.frames_decoded,
         c.frames_rejected,
+        c.encode_oversize,
         c.frames_dropped,
         c.frames_retransmitted,
     );
+    if let Some(path) = &opts.trace_out {
+        cluster.export_telemetry();
+        let boxed = cluster.take_tracer();
+        let rec = boxed.as_recording().expect("recording tracer installed");
+        print!("{}", rec.text_report());
+        if let Err(e) = std::fs::write(path, rec.chrome_trace_json()) {
+            eprintln!("cam-node: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} events)", rec.len());
+    }
     if done && ratio >= 1.0 {
         println!("ok: every live node received the payload");
         ExitCode::SUCCESS
     } else {
         eprintln!("cam-node: incomplete delivery ({ratio:.3}) within the deadline");
         ExitCode::FAILURE
+    }
+}
+
+fn run_with_transport<P: DhtProtocol>(
+    opts: &Options,
+    protocol: P,
+    region_split: bool,
+) -> ExitCode {
+    let name = if opts.koorde {
+        "CAM-Koorde"
+    } else {
+        "CAM-Chord"
+    };
+    if opts.mem {
+        let mut t = InMemoryTransport::new(opts.n, opts.seed, LatencyModel::default_wan());
+        t.set_loss_probability(opts.loss);
+        println!(
+            "cam-node: {} nodes ({name}) on the in-memory wire, loss {:.0}%, seed {}",
+            opts.n,
+            opts.loss * 100.0,
+            opts.seed,
+        );
+        run(opts, protocol, region_split, t)
+    } else {
+        let t = match UdpTransport::bind(opts.n) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cam-node: cannot bind {} loopback sockets: {e}", opts.n);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "cam-node: {} nodes ({name}) on 127.0.0.1, ports {}..{}",
+            opts.n,
+            t.addr(0).port(),
+            t.addr(opts.n - 1).port(),
+        );
+        run(opts, protocol, region_split, t)
     }
 }
 
@@ -168,8 +244,8 @@ fn main() -> ExitCode {
         }
     };
     if opts.koorde {
-        run(&opts, CamKoordeProtocol, false)
+        run_with_transport(&opts, CamKoordeProtocol, false)
     } else {
-        run(&opts, CamChordProtocol, true)
+        run_with_transport(&opts, CamChordProtocol, true)
     }
 }

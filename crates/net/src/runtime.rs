@@ -32,6 +32,7 @@ use cam_overlay::Member;
 use cam_ring::{Id, IdSpace, Segment};
 use cam_sim::rng::SimRng;
 use cam_sim::{ActorId, Duration, SimTime};
+use cam_trace::{DeliveryCensus, EventKind, NopTracer, Tracer};
 
 use crate::codec::{decode_frame, encode_frame, Frame};
 use crate::transport::{Transport, WireCounters};
@@ -76,6 +77,12 @@ struct Outbox<'a> {
     sends: &'a mut Vec<(ActorId, DhtMsg)>,
     timers: &'a mut Vec<(Duration, u64)>,
     rng: &'a mut SimRng,
+    /// The cluster's tracer, so actor-level protocol events carry the
+    /// **wire clock** (the cluster's `now`) rather than any per-node time.
+    tracer: &'a mut dyn Tracer,
+    /// Cluster clock at delivery, pre-read so the outbox never touches the
+    /// clock itself.
+    now_micros: u64,
 }
 
 impl DhtDriver for Outbox<'_> {
@@ -94,6 +101,15 @@ impl DhtDriver for Outbox<'_> {
     fn random_index(&mut self, len: usize) -> usize {
         debug_assert!(len > 0, "random_index over an empty range");
         self.rng.uniform_incl(0, len as u64 - 1) as usize
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    fn trace(&mut self, kind: EventKind) {
+        self.tracer
+            .record(self.now_micros, self.me.index() as u64, kind);
     }
 }
 
@@ -177,6 +193,10 @@ pub struct Cluster<P: DhtProtocol, T: Transport> {
     next_payload: u64,
     scratch_sends: Vec<(ActorId, DhtMsg)>,
     scratch_timers: Vec<(Duration, u64)>,
+    /// Event/telemetry sink; [`NopTracer`] (free) unless installed via
+    /// [`Cluster::set_tracer`]. Events are stamped with the wire clock
+    /// (`self.now`), so virtual-time runs trace deterministically.
+    tracer: Box<dyn Tracer>,
 }
 
 impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
@@ -223,6 +243,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             next_payload: 1,
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
+            tracer: Box::new(NopTracer),
         };
 
         let directory: HashMap<u64, ActorId> = sorted
@@ -261,6 +282,10 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     fn arm_maintenance(&mut self, i: usize, jitter: u64) {
         let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut timers = std::mem::take(&mut self.scratch_timers);
+        // Lend the tracer to the outbox alongside the node borrow; the
+        // placeholder `NopTracer` box is a ZST and never allocates.
+        let mut tracer = std::mem::replace(&mut self.tracer, Box::new(NopTracer));
+        let now_micros = self.now.micros();
         {
             let nd = self.node_at_mut(i);
             let mut drv = Outbox {
@@ -268,9 +293,12 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
                 sends: &mut sends,
                 timers: &mut timers,
                 rng: &mut nd.rng,
+                tracer: tracer.as_mut(),
+                now_micros,
             };
             nd.actor.arm_maintenance(&mut drv, jitter);
         }
+        self.tracer = tracer;
         self.flush(i, &mut sends, &mut timers);
         self.scratch_sends = sends;
         self.scratch_timers = timers;
@@ -344,6 +372,50 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         self.transport.counters()
     }
 
+    /// Installs an event tracer (e.g. a `RecordingTracer`). Protocol
+    /// events from every node's actor and runtime-level events
+    /// (retransmits, crashes) flow into it, stamped with the wire clock.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &dyn Tracer {
+        self.tracer.as_ref()
+    }
+
+    /// Exclusive access to the installed tracer.
+    pub fn tracer_mut(&mut self) -> &mut dyn Tracer {
+        self.tracer.as_mut()
+    }
+
+    /// Removes and returns the installed tracer, leaving a [`NopTracer`]
+    /// behind — call once at the end of a run to export the trace.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        std::mem::replace(&mut self.tracer, Box::new(NopTracer))
+    }
+
+    /// Copies the transport's wire counters and cluster-level gauges into
+    /// the tracer's telemetry registry, unifying both in one trace
+    /// artifact. Counters are absolute snapshots — call once, at the end
+    /// of a run, before exporting.
+    pub fn export_telemetry(&mut self) {
+        let c = self.transport.counters();
+        let live = self.nodes.iter().filter(|nd| nd.alive).count() as i64;
+        let t = self.tracer.as_mut();
+        t.counter_add("wire.bytes_sent", c.bytes_sent);
+        t.counter_add("wire.bytes_received", c.bytes_received);
+        t.counter_add("wire.frames_encoded", c.frames_encoded);
+        t.counter_add("wire.frames_decoded", c.frames_decoded);
+        t.counter_add("wire.frames_rejected", c.frames_rejected);
+        t.counter_add("wire.encode_oversize", c.encode_oversize);
+        t.counter_add("wire.frames_dropped", c.frames_dropped);
+        t.counter_add("wire.frames_retransmitted", c.frames_retransmitted);
+        t.counter_add("wire.internal_errors", c.internal_errors);
+        t.gauge_set("cluster.nodes", self.nodes.len() as i64);
+        t.gauge_set("cluster.live_nodes", live);
+    }
+
     /// Crash-kills node `i`: its timers and retransmissions stop and
     /// frames addressed to it are ignored, like a dead UDP host. Peers
     /// discover the crash through failure detection.
@@ -356,6 +428,8 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         nd.alive = false;
         nd.timers.clear();
         nd.awaiting_ack.clear();
+        let at = self.now.micros();
+        self.tracer.record(at, i as u64, EventKind::Crash);
     }
 
     /// Adds `member` as a fresh node on the next free transport endpoint
@@ -467,23 +541,15 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         payload
     }
 
-    /// Fraction of live nodes that have received `payload`.
+    /// Fraction of live nodes that have received `payload`, under the
+    /// same [`DeliveryCensus`] rules the sim harness uses, so ratios from
+    /// both hosts are directly comparable.
     pub fn delivery_ratio(&self, payload: u64) -> f64 {
-        let mut live = 0usize;
-        let mut got = 0usize;
+        let mut census = DeliveryCensus::new();
         for nd in &self.nodes {
-            if nd.alive {
-                live += 1;
-                if nd.actor.payload_hops(payload).is_some() {
-                    got += 1;
-                }
-            }
+            census.observe(nd.alive, nd.actor.payload_hops(payload).is_some());
         }
-        if live == 0 {
-            0.0
-        } else {
-            got as f64 / live as f64
-        }
+        census.ratio()
     }
 
     /// Mean overlay hop count of `payload` over nodes that received it.
@@ -649,6 +715,8 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
     fn dispatch(&mut self, i: usize, from: ActorId, msg: DhtMsg) {
         let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut timers = std::mem::take(&mut self.scratch_timers);
+        let mut tracer = std::mem::replace(&mut self.tracer, Box::new(NopTracer));
+        let now_micros = self.now.micros();
         {
             let nd = self.node_at_mut(i);
             let mut drv = Outbox {
@@ -656,9 +724,12 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
                 sends: &mut sends,
                 timers: &mut timers,
                 rng: &mut nd.rng,
+                tracer: tracer.as_mut(),
+                now_micros,
             };
             nd.actor.deliver(&mut drv, from, msg);
         }
+        self.tracer = tracer;
         self.flush(i, &mut sends, &mut timers);
         self.scratch_sends = sends;
         self.scratch_timers = timers;
@@ -703,7 +774,7 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
                 // Too large for one frame (e.g. an oversized payload or
                 // digest): counted, not sent. Anti-entropy will not help
                 // here either — the payload itself must fit.
-                self.transport.counters_mut().frames_rejected += 1;
+                self.transport.counters_mut().encode_oversize += 1;
             }
             Ok(bytes) => {
                 self.transport.counters_mut().frames_encoded += 1;
@@ -737,6 +808,8 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             did = true;
             let mut sends = std::mem::take(&mut self.scratch_sends);
             let mut timers = std::mem::take(&mut self.scratch_timers);
+            let mut tracer = std::mem::replace(&mut self.tracer, Box::new(NopTracer));
+            let now_micros = self.now.micros();
             {
                 let nd = self.node_at_mut(i);
                 let mut drv = Outbox {
@@ -744,9 +817,12 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
                     sends: &mut sends,
                     timers: &mut timers,
                     rng: &mut nd.rng,
+                    tracer: tracer.as_mut(),
+                    now_micros,
                 };
                 nd.actor.deliver_timer(&mut drv, tag);
             }
+            self.tracer = tracer;
             self.flush(i, &mut sends, &mut timers);
             self.scratch_sends = sends;
             self.scratch_timers = timers;
@@ -779,7 +855,18 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
             p.rto = p.rto.saturating_mul(2).min(policy.max_rto);
             p.next_at = now + p.rto;
             let (to, bytes) = (p.to, p.frame.clone());
+            let (attempt, rto) = (p.attempts - 1, p.rto);
             self.transport.counters_mut().frames_retransmitted += 1;
+            self.tracer.record(
+                now.micros(),
+                i as u64,
+                EventKind::Retransmit {
+                    to: to as u64,
+                    wire_seq: seq,
+                    attempt,
+                    rto_micros: rto.micros(),
+                },
+            );
             self.transport.send(self.now, i, to, &bytes);
         }
         did

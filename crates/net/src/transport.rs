@@ -26,9 +26,15 @@ pub struct WireCounters {
     pub frames_encoded: u64,
     /// Received frames that decoded cleanly.
     pub frames_decoded: u64,
-    /// Received frames rejected as malformed (plus messages too large to
-    /// encode into one frame).
+    /// Received frames rejected as malformed: a payload that failed to
+    /// decode, or a frame claiming a source endpoint that does not exist.
+    /// Strictly a receive-side counter; local encode failures are counted
+    /// in [`WireCounters::encode_oversize`].
     pub frames_rejected: u64,
+    /// Locally-originated messages that were too large to encode into a
+    /// single frame and were therefore never offered to the wire. A
+    /// send-side counter — the peer never sees these.
+    pub encode_oversize: u64,
     /// Frames lost in transit (in-memory loss injection, or a socket send
     /// that errored).
     pub frames_dropped: u64,

@@ -12,6 +12,7 @@ use cam_overlay::Member;
 use cam_ring::{Id, IdSpace};
 use cam_sim::rng::SimRng;
 use cam_sim::{Duration, LatencyModel};
+use cam_trace::RecordingTracer;
 
 const SPACE: IdSpace = IdSpace::PAPER;
 
@@ -71,6 +72,7 @@ fn chord_multicast_reaches_every_node_without_loss() {
     let c = cluster.counters();
     assert!(c.frames_decoded > 0);
     assert_eq!(c.frames_rejected, 0, "no malformed frames on a clean wire");
+    assert_eq!(c.encode_oversize, 0, "every message fits one frame");
     assert_eq!(c.frames_dropped, 0);
     // Maintenance chatter is perpetual, so some frames are always still in
     // flight — but a lossless wire never loses bytes, only delays them.
@@ -112,6 +114,76 @@ fn koorde_multicast_survives_twenty_percent_loss_deterministically() {
     assert_eq!(t1, t2, "same seed, same virtual timeline");
     assert_eq!(c1, c2, "same seed, same wire counters");
     assert_eq!(h1, h2, "same seed, same per-node hop counts");
+}
+
+/// The tracing acceptance scenario: a 32-node cluster on a 20%-lossy wire
+/// with a [`RecordingTracer`] installed yields a Chrome-trace export that
+/// shows the resilience machinery working — retransmissions on the wire
+/// and duplicate suppression in the actors — plus unified wire counters.
+#[test]
+fn lossy_run_records_retransmits_and_duplicate_suppression() {
+    let mut cluster = converged(32, CamKoordeProtocol, 97, 0.2);
+    cluster.set_tracer(Box::new(RecordingTracer::new()));
+    cluster.run_for(Duration::from_secs(1));
+    let payload = cluster.start_multicast(3, false, Bytes::from(vec![9u8; 256]));
+    let done = cluster.run_until(Duration::from_secs(60), |c| {
+        c.delivery_ratio(payload) >= 1.0
+    });
+    assert!(done, "delivery stalled despite retransmits");
+    cluster.run_for(Duration::from_secs(5));
+    cluster.kill(7);
+    cluster.export_telemetry();
+
+    let counters = cluster.counters();
+    let boxed = cluster.take_tracer();
+    let rec = boxed.as_recording().expect("recording tracer installed");
+    assert!(rec.count("retransmit") > 0, "lossy wire must retransmit");
+    assert!(
+        rec.count("duplicate_suppress") > 0,
+        "constrained flooding + redelivery must hit duplicate suppression"
+    );
+    assert!(
+        rec.count("multicast_receive") >= 31,
+        "every non-source node receives once"
+    );
+    assert_eq!(rec.count("crash"), 1);
+    assert_eq!(rec.dropped(), 0, "default capacity must hold this run");
+
+    // The registry snapshot mirrors the transport's counters exactly.
+    assert_eq!(
+        rec.registry().counter("wire.frames_retransmitted"),
+        counters.frames_retransmitted
+    );
+    assert_eq!(rec.registry().gauge("cluster.live_nodes"), Some(31));
+
+    // Both exports carry the events a human would go looking for.
+    let json = rec.chrome_trace_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"retransmit\""));
+    assert!(json.contains("\"duplicate_suppress\""));
+    let report = rec.text_report();
+    assert!(report.contains("retransmit"));
+    assert!(report.contains("wire.frames_retransmitted"));
+}
+
+/// Tracing must not disturb the protocol: the same seeded run with and
+/// without a recording tracer produces the identical virtual timeline and
+/// wire counters.
+#[test]
+fn recording_tracer_does_not_perturb_the_run() {
+    let run = |trace: bool| {
+        let mut cluster = converged(16, CamChordProtocol, 41, 0.1);
+        if trace {
+            cluster.set_tracer(Box::new(RecordingTracer::new()));
+        }
+        cluster.run_for(Duration::from_secs(1));
+        let payload = cluster.start_multicast(0, true, Bytes::from(vec![4u8; 64]));
+        cluster.run_until(Duration::from_secs(30), |c| {
+            c.delivery_ratio(payload) >= 1.0
+        });
+        (cluster.now(), cluster.counters())
+    };
+    assert_eq!(run(false), run(true));
 }
 
 #[test]

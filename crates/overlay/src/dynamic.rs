@@ -23,6 +23,7 @@ use cam_ring::{Id, IdSpace, Segment};
 use cam_sim::engine::{Actor, ActorId, Context};
 use cam_sim::time::Duration;
 use cam_sim::{LatencyModel, Simulation};
+use cam_trace::{DeliveryCensus, EventKind};
 
 use crate::Member;
 
@@ -56,6 +57,20 @@ pub trait DhtDriver {
     /// Uniform random index in `[0, len)` for protocol decisions (e.g.
     /// picking an anti-entropy gossip partner). `len` must be non-zero.
     fn random_index(&mut self, len: usize) -> usize;
+
+    /// True when the host's tracer is actually recording — lets the actor
+    /// skip assembling events that would be thrown away. Default: `false`.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a structured trace event, stamped by the host with its own
+    /// clock (virtual sim time, or the runtime's wire clock) and this
+    /// actor's id. Default: no-op, so hosts without telemetry pay one
+    /// predictable branch per hook site and nothing else.
+    fn trace(&mut self, kind: EventKind) {
+        let _ = kind;
+    }
 }
 
 impl DhtDriver for Context<'_, DhtMsg> {
@@ -74,6 +89,14 @@ impl DhtDriver for Context<'_, DhtMsg> {
     fn random_index(&mut self, len: usize) -> usize {
         debug_assert!(len > 0, "random_index over an empty range");
         self.rng().uniform_incl(0, len as u64 - 1) as usize
+    }
+
+    fn trace_enabled(&self) -> bool {
+        Context::trace_enabled(self)
+    }
+
+    fn trace(&mut self, kind: EventKind) {
+        Context::trace(self, kind)
     }
 }
 
@@ -543,8 +566,10 @@ impl<P: DhtProtocol> DhtActor<P> {
         data: bytes::Bytes,
     ) {
         if self.seen_payloads.contains_key(&payload) {
+            ctx.trace(EventKind::DuplicateSuppress { payload, hops });
             return; // duplicate
         }
+        ctx.trace(EventKind::MulticastReceive { payload, hops });
         self.seen_payloads.insert(payload, hops);
         self.received_log.push((payload, hops));
         self.delivered_data.insert(payload, data.clone());
@@ -552,10 +577,27 @@ impl<P: DhtProtocol> DhtActor<P> {
             return;
         };
         let neighbors = self.neighbor_members();
-        for (child, child_region) in self
+        let children = self
             .protocol
-            .multicast_children(self.space, &self.me, &neighbors, &succ, region)
-        {
+            .multicast_children(self.space, &self.me, &neighbors, &succ, region);
+        if ctx.trace_enabled() {
+            let split = children.iter().filter(|(_, r)| r.is_some()).count();
+            if split > 0 {
+                ctx.trace(EventKind::RegionSplit {
+                    payload,
+                    children: split as u32,
+                });
+            }
+        }
+        for (child, child_region) in children {
+            if ctx.trace_enabled() {
+                ctx.trace(EventKind::MulticastForward {
+                    payload,
+                    to: child.value(),
+                    hops: hops + 1,
+                    segment: child_region.map(|s| (s.from.value(), s.to.value())),
+                });
+            }
             self.send_to_member(
                 ctx,
                 child,
@@ -602,11 +644,18 @@ impl<P: DhtProtocol> DhtActor<P> {
             if self.stabilize_strikes >= 2 && self.successors.len() > 1 {
                 let dead = self.successors.remove(0);
                 self.fingers.retain(|_, m| m.id != dead.id);
+                ctx.trace(EventKind::NeighborMiss {
+                    neighbor: dead.id.value(),
+                    strikes: u32::from(self.stabilize_strikes),
+                });
                 self.stabilize_strikes = 0;
             }
         } else {
             self.stabilize_strikes = 0;
         }
+        ctx.trace(EventKind::StabilizeRound {
+            successors: self.successors.len() as u32,
+        });
         if let Some(succ) = self.successors.first().copied() {
             self.awaiting_stabilize = true;
             self.send_to_member(ctx, succ.id, DhtMsg::StabilizeQuery);
@@ -644,9 +693,14 @@ impl<P: DhtProtocol> DhtActor<P> {
         for (_, suspect) in timed_out {
             let strikes = self.ping_strikes.entry(suspect.value()).or_insert(0);
             *strikes += 1;
-            if *strikes >= 2 {
+            let strikes = *strikes;
+            if strikes >= 2 {
                 self.fingers.retain(|_, m| m.id != suspect);
                 self.ping_strikes.remove(&suspect.value());
+                ctx.trace(EventKind::NeighborMiss {
+                    neighbor: suspect.value(),
+                    strikes: u32::from(strikes),
+                });
             }
         }
         // 2. Probe and refresh a window of finger slots, round-robin via a
@@ -706,6 +760,10 @@ impl<P: DhtProtocol> DhtActor<P> {
                 ..
             } => match self.pending.remove(&req_id) {
                 Some(PendingLookup::FixFinger(target)) if !gave_up => {
+                    ctx.trace(EventKind::NeighborResolve {
+                        target: target.value(),
+                        neighbor: owner.id.value(),
+                    });
                     self.fingers.insert(target.value(), owner);
                 }
                 _ => {}
@@ -853,6 +911,9 @@ impl<P: DhtProtocol> DhtActor<P> {
                 // to forward the request greedily toward the owner.
                 if let Some(pred) = &self.predecessor {
                     if self.space.in_segment(joiner.id, pred.id, self.me.id) {
+                        ctx.trace(EventKind::JoinRequest {
+                            joiner: joiner.id.value(),
+                        });
                         let mut successors = vec![self.me];
                         successors.extend(self.successors.iter().copied());
                         successors.truncate(SUCCESSOR_LIST_LEN);
@@ -862,6 +923,9 @@ impl<P: DhtProtocol> DhtActor<P> {
                 }
                 if let Some(succ) = self.successors.first().copied() {
                     if self.space.in_segment(joiner.id, self.me.id, succ.id) {
+                        ctx.trace(EventKind::JoinRequest {
+                            joiner: joiner.id.value(),
+                        });
                         // My own successor list *is* the joiner's future
                         // list (it starts at succ).
                         ctx.send(
@@ -900,6 +964,9 @@ impl<P: DhtProtocol> DhtActor<P> {
             }
             DhtMsg::JoinAnswer { successors } => {
                 if !self.joined && !successors.is_empty() {
+                    ctx.trace(EventKind::JoinComplete {
+                        joiner: self.me.id.value(),
+                    });
                     let head = successors[0];
                     self.successors = successors;
                     self.successors.truncate(SUCCESSOR_LIST_LEN);
@@ -1056,6 +1123,10 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
         let victims = candidates.into_iter().take(count).collect::<Vec<_>>();
         for v in &victims {
             self.sim.kill(*v);
+            let at = self.sim.now().micros();
+            self.sim
+                .tracer_mut()
+                .record(at, v.0 as u64, EventKind::Crash);
         }
         victims.len()
     }
@@ -1115,6 +1186,10 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
         match self.actor_of(id) {
             Some(a) if self.sim.is_alive(a) => {
                 self.sim.kill(a);
+                let at = self.sim.now().micros();
+                self.sim
+                    .tracer_mut()
+                    .record(at, a.0 as u64, EventKind::Leave);
                 true
             }
             _ => false,
@@ -1182,23 +1257,18 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
         payload
     }
 
-    /// Fraction of live nodes that received `payload`.
+    /// Fraction of live nodes that received `payload`, via the shared
+    /// [`DeliveryCensus`] (the net `Cluster` folds through the same code).
     pub fn delivery_ratio(&self, payload: u64) -> f64 {
-        let mut live = 0usize;
-        let mut got = 0usize;
+        let mut census = DeliveryCensus::new();
         for (_, a) in &self.actors {
-            if let Some(actor) = self.sim.actor(*a) {
-                live += 1;
-                if actor.payload_hops(payload).is_some() {
-                    got += 1;
-                }
-            }
+            let actor = self.sim.actor(*a);
+            census.observe(
+                actor.is_some(),
+                actor.is_some_and(|x| x.payload_hops(payload).is_some()),
+            );
         }
-        if live == 0 {
-            0.0
-        } else {
-            got as f64 / live as f64
-        }
+        census.ratio()
     }
 
     /// Mean hop count of `payload` over nodes that received it.

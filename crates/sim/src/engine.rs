@@ -13,6 +13,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use cam_trace::{EventKind, NopTracer, Tracer};
+
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
@@ -104,6 +106,7 @@ pub struct Context<'a, M> {
     outbox: &'a mut Vec<(ActorId, ActorId, M, Option<Duration>)>,
     timers: &'a mut Vec<(ActorId, Duration, u64)>,
     rng: &'a mut SimRng,
+    tracer: &'a mut dyn Tracer,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -140,6 +143,21 @@ impl<'a, M> Context<'a, M> {
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
+
+    /// True when the simulation's tracer is actually recording; lets
+    /// handlers skip building events that would be thrown away.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Records a trace event stamped with the *virtual* clock and this
+    /// actor's id. A no-op under the default [`NopTracer`].
+    #[inline]
+    pub fn trace(&mut self, kind: EventKind) {
+        self.tracer
+            .record(self.now.micros(), self.me.0 as u64, kind);
+    }
 }
 
 /// A deterministic discrete-event simulation of message-passing actors.
@@ -160,6 +178,9 @@ pub struct Simulation<A: Actor> {
     /// Optional per-message wire-size function feeding the byte counters
     /// in [`SimStats`] (e.g. `cam-net`'s encoded frame length).
     wire_cost: Option<fn(&A::Msg) -> usize>,
+    /// Event/telemetry sink handed to every [`Context`]; [`NopTracer`]
+    /// (free) unless a recording tracer is installed.
+    tracer: Box<dyn Tracer>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -184,7 +205,30 @@ impl<A: Actor> Simulation<A> {
             stats: SimStats::default(),
             loss_probability: 0.0,
             wire_cost: None,
+            tracer: Box::new(NopTracer),
         }
+    }
+
+    /// Installs a tracer; every subsequent event handler sees it through
+    /// [`Context::trace`]. Replaces (and drops) the previous tracer.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (shared, e.g. for export at end of run).
+    pub fn tracer(&self) -> &dyn Tracer {
+        self.tracer.as_ref()
+    }
+
+    /// The installed tracer, mutably (e.g. for host-level events that
+    /// happen outside any actor's handler, like crash injection).
+    pub fn tracer_mut(&mut self) -> &mut dyn Tracer {
+        self.tracer.as_mut()
+    }
+
+    /// Removes and returns the installed tracer, leaving [`NopTracer`].
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        std::mem::replace(&mut self.tracer, Box::new(NopTracer))
     }
 
     /// Sets the independent per-message loss probability. `p = 1.0` is a
@@ -344,6 +388,7 @@ impl<A: Actor> Simulation<A> {
                 outbox: &mut outbox,
                 timers: &mut timers,
                 rng: &mut self.rng,
+                tracer: self.tracer.as_mut(),
             };
             match ev.payload {
                 Payload::Message { from, msg } => {
@@ -550,6 +595,49 @@ mod tests {
         assert_eq!(st.delivered, 1, "only the injected message arrives");
         assert_eq!(st.dropped, 1, "the first reply is lost");
         assert_eq!(s.actor(a).unwrap().received, 0);
+    }
+
+    #[test]
+    fn tracer_stamps_virtual_time_and_actor() {
+        use cam_trace::RecordingTracer;
+
+        struct Echo;
+        impl Actor for Echo {
+            type Msg = u32;
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ActorId, msg: u32) {
+                ctx.trace(EventKind::MulticastReceive {
+                    payload: u64::from(msg),
+                    hops: 0,
+                });
+                if msg > 0 {
+                    ctx.send(from, msg - 1);
+                }
+            }
+        }
+
+        let mut s: Simulation<Echo> =
+            Simulation::new(11, LatencyModel::Constant(Duration::from_millis(10)));
+        assert!(!s.tracer().enabled(), "NopTracer by default");
+        s.set_tracer(Box::new(RecordingTracer::with_capacity(16)));
+        let a = s.add_actor(Echo);
+        let b = s.add_actor(Echo);
+        s.post(a, b, 2);
+        s.run_to_completion();
+
+        let boxed = s.take_tracer();
+        let rec = boxed.as_recording().expect("recording tracer installed");
+        assert_eq!(rec.count("multicast_receive"), 3);
+        let stamps: Vec<(u64, u64)> = rec.events().map(|e| (e.at_micros, e.actor)).collect();
+        // Deliveries land at 10ms/20ms/30ms virtual, alternating b, a, b.
+        assert_eq!(
+            stamps,
+            vec![
+                (10_000, b.0 as u64),
+                (20_000, a.0 as u64),
+                (30_000, b.0 as u64)
+            ]
+        );
+        assert!(!s.tracer().enabled(), "take_tracer leaves NopTracer");
     }
 
     #[test]

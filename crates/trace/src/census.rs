@@ -1,0 +1,99 @@
+//! The shared delivery-ratio computation.
+//!
+//! Both multicast hosts — the simulator's `DynamicNetwork` and the net
+//! `Cluster` — used to carry their own copy of the same fold: count live
+//! actors, count live actors that hold the payload, divide. The copies had
+//! already been written twice; this is the one implementation both now
+//! use, so the semantics (dead actors don't count, an empty group delivers
+//! 0.0) can never drift apart again.
+
+/// Folds per-actor liveness/delivery observations into a delivery ratio.
+///
+/// # Example
+///
+/// ```
+/// use cam_trace::DeliveryCensus;
+///
+/// let mut c = DeliveryCensus::new();
+/// c.observe(true, true); // live, has the payload
+/// c.observe(true, false); // live, still waiting
+/// c.observe(false, false); // dead: excluded from the denominator
+/// assert_eq!(c.live(), 2);
+/// assert_eq!(c.delivered(), 1);
+/// assert!((c.ratio() - 0.5).abs() < 1e-12);
+/// assert_eq!(DeliveryCensus::new().ratio(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryCensus {
+    live: u64,
+    delivered: u64,
+}
+
+impl DeliveryCensus {
+    /// An empty census.
+    pub fn new() -> Self {
+        DeliveryCensus::default()
+    }
+
+    /// Folds in one actor. Dead actors are ignored entirely; a dead
+    /// actor's `delivered` flag is meaningless and discarded.
+    pub fn observe(&mut self, alive: bool, delivered: bool) {
+        if alive {
+            self.live += 1;
+            if delivered {
+                self.delivered += 1;
+            }
+        }
+    }
+
+    /// Number of live actors observed.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Number of live actors that held the payload.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Delivered fraction of live actors; `0.0` when no live actor was
+    /// observed (matching both hosts' historical behavior).
+    pub fn ratio(&self) -> f64 {
+        if self.live == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.live as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_census_is_zero() {
+        assert_eq!(DeliveryCensus::new().ratio(), 0.0);
+    }
+
+    #[test]
+    fn dead_actors_do_not_count() {
+        let mut c = DeliveryCensus::new();
+        for _ in 0..3 {
+            c.observe(false, true); // nonsensical flag on a dead actor
+        }
+        assert_eq!(c.live(), 0);
+        assert_eq!(c.ratio(), 0.0);
+        c.observe(true, true);
+        assert_eq!(c.ratio(), 1.0);
+    }
+
+    #[test]
+    fn full_delivery_is_exactly_one() {
+        let mut c = DeliveryCensus::new();
+        for _ in 0..32 {
+            c.observe(true, true);
+        }
+        assert_eq!(c.ratio(), 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Named counters, gauges, and histograms for run-level telemetry.
+
+use std::collections::BTreeMap;
+
+use crate::Histogram;
+
+/// A registry of named scalars and distributions.
+///
+/// This is the one home for run-level telemetry that used to be scattered
+/// across ad-hoc structs (`WireCounters` snapshots, per-run scalars):
+/// monotonic *counters*, last-write-wins *gauges*, and integer-valued
+/// *histograms*. Keys are `&'static str` so recording never allocates, and
+/// storage is `BTreeMap` so iteration order — and therefore every exported
+/// report — is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use cam_trace::TelemetryRegistry;
+///
+/// let mut r = TelemetryRegistry::new();
+/// r.counter_add("frames_decoded", 3);
+/// r.counter_add("frames_decoded", 1);
+/// r.gauge_set("live_nodes", 31);
+/// r.observe("hops", 4);
+/// assert_eq!(r.counter("frames_decoded"), 4);
+/// assert_eq!(r.gauge("live_nodes"), Some(31));
+/// assert_eq!(r.histogram("hops").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TelemetryRegistry::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into the named histogram (created empty).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The named histogram, if anything was ever observed into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = TelemetryRegistry::new();
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("x", 2);
+        r.counter_add("x", 5);
+        assert_eq!(r.counter("x"), 7);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut r = TelemetryRegistry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", -3);
+        r.gauge_set("g", 11);
+        assert_eq!(r.gauge("g"), Some(11));
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut r = TelemetryRegistry::new();
+        r.counter_add("zeta", 1);
+        r.counter_add("alpha", 1);
+        r.counter_add("mid", 1);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut r = TelemetryRegistry::new();
+        r.observe("hops", 1);
+        r.observe("hops", 3);
+        let h = r.histogram("hops").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(3), 1);
+        assert!(r.histogram("other").is_none());
+        assert!(!r.is_empty());
+    }
+}

@@ -5,6 +5,8 @@ use cam_ring::Id;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::scenario::{BandwidthDist, CapacityAssignment};
+
 /// What happens at a churn event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ChurnKind {
@@ -58,12 +60,10 @@ pub struct ChurnTrace {
 }
 
 impl ChurnTrace {
-    /// Generates `events` churn events against an initial population.
-    ///
-    /// Joins and departures are equally likely (keeping the expected group
-    /// size stable); `crash_fraction` of departures are crashes. Joining
-    /// members get fresh identifiers and capacities uniform in `[4..10]`
-    /// with the paper's bandwidth range.
+    /// Generates `events` churn events against an initial population,
+    /// with the paper's default workload for joiners (`B ∈ U[400,1000]`
+    /// kbps, `c ∈ U[4..10]`). See [`ChurnTrace::generate_with`] to plumb
+    /// a scenario's configured distributions through instead.
     ///
     /// # Panics
     ///
@@ -77,6 +77,44 @@ impl ChurnTrace {
         crash_fraction: f64,
         seed: u64,
     ) -> Self {
+        Self::generate_with(
+            space,
+            initial,
+            events,
+            mean_gap_micros,
+            crash_fraction,
+            seed,
+            &BandwidthDist::PAPER,
+            &CapacityAssignment::PAPER,
+        )
+    }
+
+    /// Generates `events` churn events whose joining members draw their
+    /// bandwidth from `bandwidth` and their capacity from `capacity` —
+    /// the same rules the scenario generator applies to the initial
+    /// population, so churn does not silently skew the workload.
+    ///
+    /// Joins and departures are equally likely (keeping the expected group
+    /// size stable); `crash_fraction` of departures are crashes. A
+    /// departed member's identifier becomes available for reuse, exactly
+    /// like a rejoining host in a deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, `mean_gap_micros <= 0`,
+    /// `crash_fraction ∉ [0, 1]`, or every identifier in `space` is
+    /// simultaneously present when a join fires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_with(
+        space: cam_ring::IdSpace,
+        initial: &[Member],
+        events: usize,
+        mean_gap_micros: f64,
+        crash_fraction: f64,
+        seed: u64,
+        bandwidth: &BandwidthDist,
+        capacity: &CapacityAssignment,
+    ) -> Self {
         assert!(!initial.is_empty(), "empty initial population");
         assert!(mean_gap_micros > 0.0, "non-positive mean gap");
         assert!(
@@ -85,6 +123,8 @@ impl ChurnTrace {
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut present: Vec<Member> = initial.to_vec();
+        // Identifiers currently in use; departures release theirs below,
+        // so long traces in small identifier spaces cannot exhaust it.
         let mut taken: std::collections::HashSet<u64> =
             initial.iter().map(|m| m.id.value()).collect();
         let mut t = 0u64;
@@ -95,16 +135,20 @@ impl ChurnTrace {
             // Keep at least 2 members present.
             let join = present.len() < 3 || rng.gen_bool(0.5);
             if join {
+                assert!(
+                    (taken.len() as u64) < space.size(),
+                    "identifier space exhausted: every id is present"
+                );
                 let id = loop {
                     let v = rng.gen_range(0..space.size());
                     if taken.insert(v) {
                         break Id(v);
                     }
                 };
-                let upload_kbps = rng.gen_range(400.0..=1000.0);
+                let upload_kbps = bandwidth.sample(&mut rng);
                 let member = Member {
                     id,
-                    capacity: rng.gen_range(4..=10),
+                    capacity: capacity.assign(upload_kbps, &mut rng),
                     upload_kbps,
                 };
                 present.push(member);
@@ -115,6 +159,7 @@ impl ChurnTrace {
             } else {
                 let idx = rng.gen_range(0..present.len());
                 let victim = present.swap_remove(idx);
+                taken.remove(&victim.id.value());
                 let kind = if rng.gen_bool(crash_fraction) {
                     ChurnKind::Crash(victim.id)
                 } else {
@@ -170,15 +215,112 @@ mod tests {
     }
 
     #[test]
-    fn fresh_ids_never_collide() {
+    fn concurrently_present_ids_never_collide() {
         let space = IdSpace::new(19);
         let init = initial(50);
         let trace = ChurnTrace::generate(space, &init, 500, 1e4, 0.0, 13);
-        let mut seen: std::collections::HashSet<u64> =
+        // Replay the trace: a join must never reuse an id that is still
+        // present — but *departed* ids are fair game, like a rejoining
+        // host in a deployment.
+        let mut present: std::collections::HashSet<u64> =
             init.iter().map(|m| m.id.value()).collect();
         for e in &trace.events {
+            match e.kind {
+                ChurnKind::Join(m) => {
+                    assert!(
+                        present.insert(m.id.value()),
+                        "join reuses the still-present id {}",
+                        m.id
+                    );
+                }
+                ChurnKind::Leave(id) | ChurnKind::Crash(id) => {
+                    assert!(present.remove(&id.value()), "departure of absent {id}");
+                }
+            }
+        }
+    }
+
+    /// Regression: the id set used to only ever grow, so a long trace in a
+    /// small identifier space would spin forever hunting a free id once
+    /// the space filled with ghosts. Departures must release their ids.
+    #[test]
+    fn long_trace_in_tiny_space_terminates_and_recycles_ids() {
+        // 64 ids, 3 initial members, 600 events: the joins alone (~300)
+        // dwarf the id-space headroom, so this only terminates if
+        // departed ids are re-issued.
+        let space = IdSpace::new(6);
+        let init = initial(3);
+        let trace = ChurnTrace::generate(space, &init, 600, 1e4, 0.5, 21);
+        assert_eq!(trace.events.len(), 600);
+
+        let mut departed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut recycled = false;
+        for e in &trace.events {
+            match e.kind {
+                ChurnKind::Join(m) => recycled |= departed.contains(&m.id.value()),
+                ChurnKind::Leave(id) | ChurnKind::Crash(id) => {
+                    departed.insert(id.value());
+                }
+            }
+        }
+        assert!(recycled, "a departed id must eventually be re-issued");
+    }
+
+    /// Joining members follow the scenario's configured workload, not a
+    /// hardcoded range.
+    #[test]
+    fn generate_with_plumbs_configured_distributions() {
+        let space = IdSpace::new(19);
+        let trace = ChurnTrace::generate_with(
+            space,
+            &initial(40),
+            300,
+            1e4,
+            0.5,
+            9,
+            &BandwidthDist::Constant(5_000.0),
+            &CapacityAssignment::PerLink {
+                p: 1_000.0,
+                min: 2,
+                max: 64,
+            },
+        );
+        let joins: Vec<Member> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ChurnKind::Join(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert!(!joins.is_empty());
+        assert!(joins.iter().all(|m| m.upload_kbps == 5_000.0));
+        assert!(joins.iter().all(|m| m.capacity == 5));
+    }
+
+    /// The defaults must match the scenario generator's paper workload —
+    /// and `generate` is a pure delegation, so the two entry points agree
+    /// draw for draw.
+    #[test]
+    fn generate_matches_generate_with_paper_defaults() {
+        let space = IdSpace::new(19);
+        let init = initial(60);
+        let a = ChurnTrace::generate(space, &init, 250, 1e5, 0.3, 17);
+        let b = ChurnTrace::generate_with(
+            space,
+            &init,
+            250,
+            1e5,
+            0.3,
+            17,
+            &BandwidthDist::PAPER,
+            &CapacityAssignment::PAPER,
+        );
+        assert_eq!(a, b);
+        for e in &a.events {
             if let ChurnKind::Join(m) = e.kind {
-                assert!(seen.insert(m.id.value()), "duplicate id {}", m.id);
+                assert!((400.0..=1000.0).contains(&m.upload_kbps));
+                assert!((4..=10).contains(&m.capacity));
             }
         }
     }

@@ -38,7 +38,10 @@ impl BandwidthDist {
         hi: 1000.0,
     };
 
-    fn sample(&self, rng: &mut impl Rng) -> f64 {
+    /// Draws one bandwidth; shared by member generation and churn traces
+    /// so joining members follow the same distribution as the initial
+    /// population.
+    pub(crate) fn sample(&self, rng: &mut impl Rng) -> f64 {
         match *self {
             BandwidthDist::Uniform { lo, hi } => {
                 debug_assert!(lo <= hi);
@@ -109,7 +112,9 @@ impl CapacityAssignment {
     /// The paper's default `[4..10]` uniform range.
     pub const PAPER: CapacityAssignment = CapacityAssignment::Uniform { lo: 4, hi: 10 };
 
-    fn assign(&self, bandwidth_kbps: f64, rng: &mut impl Rng) -> u32 {
+    /// Assigns one capacity from a sampled bandwidth; shared by member
+    /// generation and churn traces.
+    pub(crate) fn assign(&self, bandwidth_kbps: f64, rng: &mut impl Rng) -> u32 {
         match *self {
             CapacityAssignment::PerLink { p, min, max } => {
                 debug_assert!(p > 0.0);

@@ -53,6 +53,7 @@ pub use cam_net as net;
 pub use cam_overlay as overlay;
 pub use cam_ring as ring;
 pub use cam_sim as sim;
+pub use cam_trace as trace;
 pub use cam_workload as workload;
 pub use chord_overlay as chord;
 pub use koorde_overlay as koorde;

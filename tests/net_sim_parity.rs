@@ -89,3 +89,69 @@ fn sim_and_wire_report_the_same_units() {
         "sim {sim_bytes} B vs wire {wire_bytes} B — not comparable units?"
     );
 }
+
+/// Both hosts now compute `delivery_ratio` through the one shared
+/// [`cam::trace::DeliveryCensus`], so the same membership state yields the
+/// *identical* number — including the rule that dead nodes are ignored
+/// entirely, even when they received the payload before dying.
+#[test]
+fn delivery_ratio_follows_shared_census_rules_on_both_hosts() {
+    let members = members();
+
+    let mut net = DynamicNetwork::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        LatencyModel::default_wan(),
+    );
+    let source = net.actors()[0].1;
+    let sim_payload = net.start_multicast(source, true);
+    net.sim.run_until(net.sim.now() + Duration::from_secs(5));
+
+    let mut cluster = Cluster::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        InMemoryTransport::new(N, SEED, LatencyModel::default_wan()),
+        RetransmitPolicy::default(),
+    );
+    let wire_payload = cluster.start_multicast(0, true, Bytes::new());
+    cluster.run_for(Duration::from_secs(5));
+
+    // Full delivery on both hosts; an unknown payload reads 0 on both.
+    assert_eq!(net.delivery_ratio(sim_payload), 1.0);
+    assert_eq!(cluster.delivery_ratio(wire_payload), 1.0);
+    assert_eq!(
+        net.delivery_ratio(u64::MAX),
+        cluster.delivery_ratio(u64::MAX)
+    );
+
+    // Kill the same three members on both hosts. Every victim already
+    // holds the payload; the census excludes dead nodes from numerator
+    // *and* denominator, so both ratios stay exactly 1.0.
+    let mut sorted = members.clone();
+    sorted.sort_by_key(|m| m.id);
+    for &i in &[5usize, 12, 20] {
+        assert!(net.remove_member(sorted[i].id), "victim must be live");
+        cluster.kill(i); // cluster node order is ring order
+    }
+    assert_eq!(net.delivery_ratio(sim_payload), 1.0);
+    assert_eq!(
+        net.delivery_ratio(sim_payload),
+        cluster.delivery_ratio(wire_payload)
+    );
+
+    // And each host's number is exactly what a census over its own actor
+    // states says — no host-private denominator rules left.
+    let mut census = cam::trace::DeliveryCensus::new();
+    for i in 0..cluster.len() {
+        let nd = cluster.node(i);
+        census.observe(
+            nd.is_alive(),
+            nd.actor().payload_hops(wire_payload).is_some(),
+        );
+    }
+    assert_eq!(census.ratio(), cluster.delivery_ratio(wire_payload));
+}
