@@ -1,0 +1,839 @@
+//! The chaos harness: replays a [`FaultPlan`] against a host and reports.
+//!
+//! Two hosts execute the same plan:
+//!
+//! * **Net** — the cam-net [`Cluster`] over an [`InMemoryTransport`]: real
+//!   wire codec, acks, retransmit timers, frame-level faults.
+//! * **Sim** — the cam-overlay [`DynamicNetwork`] over the pure event
+//!   simulation: no frame layer, so duplication events are no-ops there.
+//!
+//! Both are driven from the plan's seed alone. The report carries an
+//! order-sensitive FNV-1a fingerprint over the complete observable end
+//! state; two runs of the same plan on the same host must produce equal
+//! fingerprints, which is what the shrinker's "bit-identical reproduction"
+//! check means.
+//!
+//! A fail-fast guard runs between event batches: the moment any node's
+//! application delivery log outgrows its duplicate-suppression table, the
+//! run aborts with a `duplicate_suppression` violation. That keeps a
+//! mutated (suppression-disabled) build from flooding itself into an
+//! exponential message explosion before the oracle can rule.
+
+use bytes::Bytes;
+use cam_core::cam_chord::CamChordProtocol;
+use cam_core::cam_koorde::CamKoordeProtocol;
+use cam_net::runtime::{Cluster, RetransmitPolicy};
+use cam_net::transport::{InMemoryTransport, Transport};
+use cam_overlay::dynamic::{DhtProtocol, DynamicNetwork};
+use cam_overlay::Member;
+use cam_ring::IdSpace;
+use cam_sim::time::Duration;
+use cam_sim::LatencyModel;
+use cam_trace::{EventKind, RecordingTracer, TraceEvent};
+
+use crate::oracle::{
+    census_of, check_cleanup, check_delivery, check_duplicate_suppression,
+    check_forward_cycles, check_join_completion, check_neighbor_ideal, check_ring_convergence,
+    NodeSnapshot, Violation,
+};
+use crate::plan::{FaultKind, FaultPlan, ProtocolChoice};
+
+/// Which execution substrate runs the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostKind {
+    /// cam-net cluster over the in-memory wire transport.
+    Net,
+    /// Pure cam-sim event simulation.
+    Sim,
+}
+
+impl HostKind {
+    /// Stable lowercase name (used in replay bundles).
+    pub fn name(self) -> &'static str {
+        match self {
+            HostKind::Net => "net",
+            HostKind::Sim => "sim",
+        }
+    }
+}
+
+/// Everything a chaos run reports: the oracle verdicts plus the state
+/// digest that replay compares.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Host that executed the plan.
+    pub host: HostKind,
+    /// Order-sensitive FNV-1a digest of the complete end state.
+    pub fingerprint: u64,
+    /// Every oracle violation, in deterministic order. Empty = pass.
+    pub violations: Vec<Violation>,
+    /// Per-payload delivery census at the end: `(payload, live, delivered)`.
+    pub census: Vec<(u64, u64, u64)>,
+    /// Payload id of the post-heal final multicast, if the run got there.
+    pub final_payload: Option<u64>,
+    /// Fault events applied before the run ended (short of `events.len()`
+    /// only when the fail-fast guard aborted).
+    pub events_applied: usize,
+    /// Chrome-trace JSON of the run, when recording was requested.
+    pub trace_json: Option<String>,
+    /// Final per-node state, in node-index order (what the oracles saw).
+    pub snapshots: Vec<NodeSnapshot>,
+}
+
+impl ChaosReport {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Order-sensitive FNV-1a 64-bit folder — the replay fingerprint.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Standard FNV-1a offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one word.
+    pub fn u64(&mut self, v: u64) {
+        // Byte-wise FNV-1a keeps avalanche decent without pulling in a
+        // hash dependency.
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a byte string.
+    pub fn bytes(&mut self, s: &[u8]) {
+        self.u64(s.len() as u64);
+        for &b in s {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// Runs `plan` on `host`. `record` installs a recording tracer and
+/// attaches Chrome-trace JSON to the report (and enables the trace-based
+/// forward-cycle oracle).
+pub fn run_plan(plan: &FaultPlan, host: HostKind, record: bool) -> ChaosReport {
+    match (host, plan.protocol) {
+        (HostKind::Net, ProtocolChoice::Chord) => drive(
+            plan,
+            &mut NetHost::new(plan, CamChordProtocol, record),
+            host,
+        ),
+        (HostKind::Net, ProtocolChoice::Koorde) => drive(
+            plan,
+            &mut NetHost::new(plan, CamKoordeProtocol, record),
+            host,
+        ),
+        (HostKind::Sim, ProtocolChoice::Chord) => drive(
+            plan,
+            &mut SimHost::new(plan, CamChordProtocol, record),
+            host,
+        ),
+        (HostKind::Sim, ProtocolChoice::Koorde) => drive(
+            plan,
+            &mut SimHost::new(plan, CamKoordeProtocol, record),
+            host,
+        ),
+    }
+}
+
+/// The operations the driver needs from a host, host-agnostically.
+trait ChaosHost {
+    fn len(&self) -> usize;
+    fn now_micros(&self) -> u64;
+    /// Advance virtual time by `span`; true if the fail-fast duplicate
+    /// guard tripped.
+    fn run_guarded(&mut self, span: Duration) -> bool;
+    /// Drain retransmit state (net); a plain settle slice on the sim,
+    /// which has no frame layer to drain.
+    fn run_quiet(&mut self, max: Duration);
+    fn crash(&mut self, node: usize);
+    fn leave(&mut self, node: usize);
+    fn restart(&mut self, node: usize);
+    fn join(&mut self, member: Member);
+    fn set_links_blocked(&mut self, cut: &[(u32, u32)], blocked: bool);
+    fn heal_partitions(&mut self);
+    fn set_loss_per_mille(&mut self, pm: u16);
+    fn set_dup_per_mille(&mut self, pm: u16);
+    fn start_multicast(&mut self) -> u64;
+    fn retry_joins(&mut self);
+    fn snapshots(&self) -> Vec<NodeSnapshot>;
+    fn neighbor_targets(&self, m: &Member) -> Vec<cam_ring::Id>;
+    fn fold_counters(&self, h: &mut Fingerprint);
+    fn trace_events(&self) -> Vec<TraceEvent>;
+    fn trace_json(&self) -> Option<String>;
+    fn record_violations(&mut self, violations: &[Violation]);
+}
+
+fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosReport {
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut payloads: Vec<u64> = Vec::new();
+    let mut final_payload = None;
+    let mut applied = 0usize;
+    let mut aborted = false;
+
+    host.set_loss_per_mille(plan.loss_base_per_mille);
+
+    let mut cursor = 0u64;
+    for ev in &plan.events {
+        if ev.at_micros > cursor {
+            let span = Duration::from_micros(ev.at_micros - cursor);
+            cursor = ev.at_micros;
+            if host.run_guarded(span) {
+                aborted = true;
+                break;
+            }
+        }
+        applied += 1;
+        match &ev.kind {
+            FaultKind::Crash { node } => {
+                if (*node as usize) < host.len() {
+                    host.crash(*node as usize);
+                }
+            }
+            FaultKind::Leave { node } => {
+                if (*node as usize) < host.len() {
+                    host.leave(*node as usize);
+                }
+            }
+            FaultKind::Restart { node } => {
+                if (*node as usize) < host.len() {
+                    host.restart(*node as usize);
+                }
+            }
+            FaultKind::Join { member } => host.join(*member),
+            FaultKind::PartitionStart { cut } => host.set_links_blocked(cut, true),
+            FaultKind::PartitionHeal => host.heal_partitions(),
+            FaultKind::LossBurst { per_mille } => host.set_loss_per_mille(*per_mille),
+            FaultKind::LossRestore => host.set_loss_per_mille(plan.loss_base_per_mille),
+            FaultKind::Duplicate { per_mille } => host.set_dup_per_mille(*per_mille),
+            FaultKind::Multicast => payloads.push(host.start_multicast()),
+            FaultKind::Quiesce => {
+                host.run_quiet(Duration::from_micros(5_000_000));
+                let snaps = host.snapshots();
+                violations.extend(check_duplicate_suppression(&snaps));
+                host.retry_joins();
+                if !violations.is_empty() {
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if !aborted {
+        // Heal everything, settle, then demand the full invariant catalog.
+        // All fault knobs go to zero — including the preset's base loss:
+        // the oracles assert converged state at a *quiescent* point, and
+        // even 1% background loss makes a double-lost stabilize round
+        // trip (which spuriously evicts a live successor, correctly
+        // self-healing a second later) likely somewhere in a 100s+ run.
+        // Catching the ring mid-repair would flag correct behavior.
+        host.heal_partitions();
+        host.set_loss_per_mille(0);
+        host.set_dup_per_mille(0);
+        // Settle in slices with a join retry before each one: a retried
+        // JoinRequest can be forwarded into a dead finger some node has
+        // not evicted yet, and each retry penetrates at least one hop
+        // further past such stale state. Retrying early also leaves the
+        // bulk of the settle window for finger re-resolution to converge
+        // on late joiners' regions.
+        let slices = 8;
+        let slice = Duration::from_micros(plan.settle_secs.max(1) * 1_000_000 / slices);
+        for _ in 0..slices {
+            host.retry_joins();
+            aborted = host.run_guarded(slice);
+            if aborted {
+                break;
+            }
+        }
+        if !aborted {
+            let fp = host.start_multicast();
+            payloads.push(fp);
+            final_payload = Some(fp);
+            aborted = host.run_guarded(Duration::from_micros(plan.final_wait_secs * 1_000_000));
+        }
+        if !aborted {
+            host.run_quiet(Duration::from_micros(10_000_000));
+        }
+
+        let snaps = host.snapshots();
+        violations.extend(check_duplicate_suppression(&snaps));
+        violations.extend(check_forward_cycles(&host.trace_events()));
+        let required: Vec<u64> = if plan.anti_entropy {
+            payloads.clone()
+        } else {
+            final_payload.into_iter().collect()
+        };
+        if !aborted {
+            violations.extend(check_delivery(&snaps, &required));
+            violations.extend(check_join_completion(&snaps));
+            violations.extend(check_ring_convergence(&snaps));
+            violations.extend(check_neighbor_ideal(&snaps, &|m| host.neighbor_targets(m)));
+            violations.extend(check_cleanup(&snaps, kind == HostKind::Net));
+        }
+    } else {
+        let snaps = host.snapshots();
+        violations.extend(check_duplicate_suppression(&snaps));
+    }
+    host.record_violations(&violations);
+
+    let snaps = host.snapshots();
+    let census: Vec<(u64, u64, u64)> = payloads
+        .iter()
+        .map(|&p| {
+            let (live, delivered) = census_of(&snaps, p);
+            (p, live, delivered)
+        })
+        .collect();
+
+    let mut h = Fingerprint::new();
+    h.u64(plan.seed);
+    h.u64(applied as u64);
+    h.u64(host.now_micros());
+    for s in &snaps {
+        h.u64(s.member.id.value());
+        h.u64(u64::from(s.alive));
+        h.u64(u64::from(s.joined));
+        h.u64(s.successor.map_or(u64::MAX, |i| i.value()));
+        h.u64(s.predecessor.map_or(u64::MAX, |i| i.value()));
+        h.u64(s.fingers.len() as u64);
+        for &(t, id) in &s.fingers {
+            h.u64(t);
+            h.u64(id.value());
+        }
+        h.u64(s.received.len() as u64);
+        for &(p, hops) in &s.received {
+            h.u64(p);
+            h.u64(u64::from(hops));
+        }
+        h.u64(s.unacked as u64);
+        h.u64(s.armed_timers as u64);
+    }
+    for &(p, live, delivered) in &census {
+        h.u64(p);
+        h.u64(live);
+        h.u64(delivered);
+    }
+    for v in &violations {
+        h.bytes(v.oracle.as_bytes());
+        h.u64(v.node.map_or(u64::MAX, |n| n));
+        h.bytes(v.detail.as_bytes());
+    }
+    host.fold_counters(&mut h);
+
+    ChaosReport {
+        host: kind,
+        fingerprint: h.finish(),
+        violations,
+        census,
+        final_payload,
+        events_applied: applied,
+        trace_json: host.trace_json(),
+        snapshots: snaps,
+    }
+}
+
+fn chaos_latency() -> LatencyModel {
+    LatencyModel::Uniform {
+        min: Duration::from_micros(10_000),
+        max: Duration::from_micros(60_000),
+    }
+}
+
+// ------------------------------------------------------------- net host
+
+struct NetHost<P: DhtProtocol> {
+    cluster: Cluster<P, InMemoryTransport>,
+    protocol: P,
+    region_split: bool,
+    anti_entropy: bool,
+    recording: bool,
+}
+
+impl<P: DhtProtocol> NetHost<P> {
+    fn new(plan: &FaultPlan, protocol: P, record: bool) -> NetHost<P> {
+        let members = plan.initial_members();
+        let endpoints = plan.nodes + plan.join_count();
+        let transport = InMemoryTransport::new(endpoints, plan.seed, chaos_latency());
+        let mut cluster = Cluster::converged(
+            IdSpace::PAPER,
+            &members,
+            protocol.clone(),
+            plan.seed,
+            transport,
+            RetransmitPolicy::default(),
+        );
+        if record {
+            cluster.set_tracer(Box::new(RecordingTracer::with_capacity(1 << 18)));
+        }
+        if plan.anti_entropy {
+            for i in 0..cluster.len() {
+                cluster.node_mut(i).actor_mut().set_anti_entropy(true);
+            }
+        }
+        NetHost {
+            cluster,
+            protocol,
+            region_split: plan.region_split,
+            anti_entropy: plan.anti_entropy,
+            recording: record,
+        }
+    }
+}
+
+fn net_guard<P: DhtProtocol>(c: &Cluster<P, InMemoryTransport>) -> bool {
+    (0..c.len()).any(|i| {
+        let a = c.node(i).actor();
+        a.received_log.len() > a.payloads_received()
+    })
+}
+
+impl<P: DhtProtocol> ChaosHost for NetHost<P> {
+    fn len(&self) -> usize {
+        self.cluster.len()
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.cluster.now().micros()
+    }
+
+    fn run_guarded(&mut self, span: Duration) -> bool {
+        self.cluster.run_until(span, net_guard)
+    }
+
+    fn run_quiet(&mut self, max: Duration) {
+        self.cluster.run_until(max, |c| {
+            (0..c.len()).all(|i| c.node(i).unacked_frames() == 0)
+        });
+    }
+
+    fn crash(&mut self, node: usize) {
+        if self.cluster.node(node).is_alive() {
+            self.cluster.kill(node);
+        }
+    }
+
+    fn leave(&mut self, node: usize) {
+        // The wire runtime treats departure as crash (silence); the trace
+        // distinction only exists on the sim host.
+        self.crash(node);
+    }
+
+    fn restart(&mut self, node: usize) {
+        if self.cluster.restart(node) && self.anti_entropy {
+            self.cluster
+                .node_mut(node)
+                .actor_mut()
+                .set_anti_entropy(true);
+        }
+    }
+
+    fn join(&mut self, member: Member) {
+        if let Some(i) = self.cluster.join(member) {
+            if self.anti_entropy {
+                self.cluster.node_mut(i).actor_mut().set_anti_entropy(true);
+            }
+        }
+    }
+
+    fn set_links_blocked(&mut self, cut: &[(u32, u32)], blocked: bool) {
+        let n = self.cluster.transport().endpoints();
+        for &(a, b) in cut {
+            if (a as usize) < n && (b as usize) < n {
+                self.cluster
+                    .transport_mut()
+                    .set_link_blocked(a as usize, b as usize, blocked);
+            }
+        }
+    }
+
+    fn heal_partitions(&mut self) {
+        self.cluster.transport_mut().clear_blocked_links();
+    }
+
+    fn set_loss_per_mille(&mut self, pm: u16) {
+        self.cluster
+            .transport_mut()
+            .set_loss_probability(f64::from(pm) / 1000.0);
+    }
+
+    fn set_dup_per_mille(&mut self, pm: u16) {
+        self.cluster
+            .transport_mut()
+            .set_duplicate_probability(f64::from(pm) / 1000.0);
+    }
+
+    fn start_multicast(&mut self) -> u64 {
+        self.cluster
+            .start_multicast(0, self.region_split, Bytes::new())
+    }
+
+    fn retry_joins(&mut self) {
+        self.cluster.retry_stalled_joins();
+    }
+
+    fn snapshots(&self) -> Vec<NodeSnapshot> {
+        (0..self.cluster.len())
+            .map(|i| {
+                let nd = self.cluster.node(i);
+                let a = nd.actor();
+                NodeSnapshot {
+                    index: i,
+                    member: *a.member(),
+                    alive: nd.is_alive(),
+                    joined: nd.is_alive() && a.is_joined(),
+                    successor: a.successor().map(|m| m.id),
+                    predecessor: a.predecessor().map(|m| m.id),
+                    fingers: a
+                        .finger_entries()
+                        .into_iter()
+                        .map(|(t, m)| (t, m.id))
+                        .collect(),
+                    received: a.received_log.clone(),
+                    seen: a.payloads_received(),
+                    unacked: nd.unacked_frames(),
+                    armed_timers: nd.armed_timers(),
+                }
+            })
+            .collect()
+    }
+
+    fn neighbor_targets(&self, m: &Member) -> Vec<cam_ring::Id> {
+        self.protocol.neighbor_targets(self.cluster.space(), m)
+    }
+
+    fn fold_counters(&self, h: &mut Fingerprint) {
+        let c = self.cluster.counters();
+        h.u64(c.bytes_sent);
+        h.u64(c.bytes_received);
+        h.u64(c.frames_encoded);
+        h.u64(c.frames_decoded);
+        h.u64(c.frames_rejected);
+        h.u64(c.encode_oversize);
+        h.u64(c.frames_dropped);
+        h.u64(c.frames_retransmitted);
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        self.cluster
+            .tracer()
+            .as_recording()
+            .map(|r| r.events().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn trace_json(&self) -> Option<String> {
+        self.cluster
+            .tracer()
+            .as_recording()
+            .map(RecordingTracer::chrome_trace_json)
+    }
+
+    fn record_violations(&mut self, violations: &[Violation]) {
+        if !self.recording {
+            return;
+        }
+        let at = self.cluster.now().micros();
+        for v in violations {
+            let node = v.node.unwrap_or(u64::MAX);
+            self.cluster.tracer_mut().record(
+                at,
+                node,
+                EventKind::OracleViolation { oracle: v.oracle },
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------- sim host
+
+struct SimHost<P: DhtProtocol> {
+    net: DynamicNetwork<P>,
+    protocol: P,
+    region_split: bool,
+    anti_entropy: bool,
+    recording: bool,
+}
+
+impl<P: DhtProtocol> SimHost<P> {
+    fn new(plan: &FaultPlan, protocol: P, record: bool) -> SimHost<P> {
+        let members = plan.initial_members();
+        let mut net = DynamicNetwork::converged(
+            IdSpace::PAPER,
+            &members,
+            protocol.clone(),
+            plan.seed,
+            chaos_latency(),
+        );
+        if record {
+            net.sim
+                .set_tracer(Box::new(RecordingTracer::with_capacity(1 << 18)));
+        }
+        if plan.anti_entropy {
+            net.enable_anti_entropy();
+        }
+        SimHost {
+            net,
+            protocol,
+            region_split: plan.region_split,
+            anti_entropy: plan.anti_entropy,
+            recording: record,
+        }
+    }
+
+    fn guard(&self) -> bool {
+        self.net.actors().iter().any(|(_, a)| {
+            self.net
+                .sim
+                .actor(*a)
+                .is_some_and(|x| x.received_log.len() > x.payloads_received())
+        })
+    }
+}
+
+impl<P: DhtProtocol> ChaosHost for SimHost<P> {
+    fn len(&self) -> usize {
+        self.net.actors().len()
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.net.sim.now().micros()
+    }
+
+    fn run_guarded(&mut self, span: Duration) -> bool {
+        // The event engine has no predicate hook; step in 100 ms slices
+        // so the guard still fires long before a suppression-free flood
+        // can melt the run.
+        let end = self.net.sim.now() + span;
+        let mut t = self.net.sim.now();
+        loop {
+            t = (t + Duration::from_micros(100_000)).min(end);
+            self.net.sim.run_until(t);
+            if self.guard() {
+                return true;
+            }
+            if t >= end {
+                return false;
+            }
+        }
+    }
+
+    fn run_quiet(&mut self, max: Duration) {
+        // No retransmit state to drain; a short settle slice keeps the
+        // quiescent-point semantics aligned with the wire host.
+        let span = Duration::from_micros(max.micros().min(1_000_000));
+        let deadline = self.net.sim.now() + span;
+        self.net.sim.run_until(deadline);
+    }
+
+    fn crash(&mut self, node: usize) {
+        let (_, a) = self.net.actors()[node];
+        if self.net.sim.is_alive(a) {
+            let at = self.net.sim.now().micros();
+            self.net.sim.kill(a);
+            self.net
+                .sim
+                .tracer_mut()
+                .record(at, a.0 as u64, EventKind::Crash);
+        }
+    }
+
+    fn leave(&mut self, node: usize) {
+        let (m, _) = self.net.actors()[node];
+        self.net.remove_member(m.id);
+    }
+
+    fn restart(&mut self, node: usize) {
+        let (m, _) = self.net.actors()[node];
+        if let Some(aid) = self.net.revive(m.id, self.protocol.clone()) {
+            if self.anti_entropy {
+                if let Some(a) = self.net.sim.actor_mut(aid) {
+                    a.set_anti_entropy(true);
+                }
+            }
+        }
+    }
+
+    fn join(&mut self, member: Member) {
+        if let Some(aid) = self.net.inject_join(member, self.protocol.clone()) {
+            if self.anti_entropy {
+                if let Some(a) = self.net.sim.actor_mut(aid) {
+                    a.set_anti_entropy(true);
+                }
+            }
+        }
+    }
+
+    fn set_links_blocked(&mut self, cut: &[(u32, u32)], blocked: bool) {
+        let actors = self.net.actors().to_vec();
+        for &(x, y) in cut {
+            if (x as usize) < actors.len() && (y as usize) < actors.len() {
+                let from = actors[x as usize].1;
+                let to = actors[y as usize].1;
+                self.net.sim.set_link_blocked(from, to, blocked);
+            }
+        }
+    }
+
+    fn heal_partitions(&mut self) {
+        self.net.sim.clear_blocked_links();
+    }
+
+    fn set_loss_per_mille(&mut self, pm: u16) {
+        self.net.sim.set_loss_probability(f64::from(pm) / 1000.0);
+    }
+
+    fn set_dup_per_mille(&mut self, _pm: u16) {
+        // The pure sim has no frame layer; duplication is a wire-level
+        // fault and a documented no-op here.
+    }
+
+    fn start_multicast(&mut self) -> u64 {
+        let source = self.net.actors()[0].1;
+        self.net.start_multicast(source, self.region_split)
+    }
+
+    fn retry_joins(&mut self) {
+        self.net.retry_stalled_joins();
+    }
+
+    fn snapshots(&self) -> Vec<NodeSnapshot> {
+        self.net
+            .actors()
+            .iter()
+            .enumerate()
+            .map(|(i, (m, aid))| match self.net.sim.actor(*aid) {
+                Some(a) => NodeSnapshot {
+                    index: i,
+                    member: *m,
+                    alive: true,
+                    joined: a.is_joined(),
+                    successor: a.successor().map(|s| s.id),
+                    predecessor: a.predecessor().map(|p| p.id),
+                    fingers: a
+                        .finger_entries()
+                        .into_iter()
+                        .map(|(t, x)| (t, x.id))
+                        .collect(),
+                    received: a.received_log.clone(),
+                    seen: a.payloads_received(),
+                    unacked: 0,
+                    armed_timers: 0,
+                },
+                None => NodeSnapshot {
+                    index: i,
+                    member: *m,
+                    alive: false,
+                    joined: false,
+                    successor: None,
+                    predecessor: None,
+                    fingers: Vec::new(),
+                    received: Vec::new(),
+                    seen: 0,
+                    unacked: 0,
+                    armed_timers: 0,
+                },
+            })
+            .collect()
+    }
+
+    fn neighbor_targets(&self, m: &Member) -> Vec<cam_ring::Id> {
+        self.protocol.neighbor_targets(self.net.space(), m)
+    }
+
+    fn fold_counters(&self, h: &mut Fingerprint) {
+        let s = self.net.sim.stats();
+        h.u64(s.sent);
+        h.u64(s.delivered);
+        h.u64(s.dropped);
+        h.u64(s.timers);
+        h.u64(s.events);
+        h.u64(s.bytes_sent);
+    }
+
+    fn trace_events(&self) -> Vec<TraceEvent> {
+        self.net
+            .sim
+            .tracer()
+            .as_recording()
+            .map(|r| r.events().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn trace_json(&self) -> Option<String> {
+        self.net
+            .sim
+            .tracer()
+            .as_recording()
+            .map(RecordingTracer::chrome_trace_json)
+    }
+
+    fn record_violations(&mut self, violations: &[Violation]) {
+        if !self.recording {
+            return;
+        }
+        let at = self.net.sim.now().micros();
+        for v in violations {
+            let node = v.node.unwrap_or(u64::MAX);
+            self.net.sim.tracer_mut().record(
+                at,
+                node,
+                EventKind::OracleViolation { oracle: v.oracle },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.u64(1);
+        a.u64(2);
+        let mut b = Fingerprint::new();
+        b.u64(2);
+        b.u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn small_plan_is_bit_identical_across_reruns() {
+        let plan = FaultPlan::small(3);
+        let a = run_plan(&plan, HostKind::Net, false);
+        let b = run_plan(&plan, HostKind::Net, false);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.census, b.census);
+    }
+
+    #[test]
+    fn recording_attaches_chrome_trace() {
+        let plan = FaultPlan::small(2);
+        let r = run_plan(&plan, HostKind::Net, true);
+        let json = r.trace_json.expect("trace recorded");
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+}

@@ -1,0 +1,149 @@
+//! Failing-seed shrinking: reduce a failing [`FaultPlan`] to a minimal
+//! schedule that still reproduces the violation, bit-identically.
+//!
+//! The algorithm (DESIGN.md §3e):
+//!
+//! 1. **Prefix bisection** — binary-search the shortest failing prefix of
+//!    the event list. The settle/final-multicast epilogue runs for every
+//!    candidate, so a prefix "fails" exactly when the full harness run of
+//!    the truncated plan reports any violation.
+//! 2. **Greedy removal** — walk the surviving prefix back-to-front and
+//!    drop every single event whose removal keeps the plan failing.
+//! 3. **Confirmation** — run the minimized plan twice and require
+//!    identical fingerprints *and* identical violation lists. Only then is
+//!    the reproduction certified bit-identical and worth bundling.
+//!
+//! The runner is injected as a closure so tests can shrink against either
+//! host (or a stub) and so the caller controls tracing.
+
+use crate::harness::ChaosReport;
+use crate::plan::FaultPlan;
+
+/// The result of shrinking a failing plan.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimal failing plan found.
+    pub minimized: FaultPlan,
+    /// Total harness executions spent (bisection + greedy + confirm).
+    pub runs: usize,
+    /// Whether two runs of `minimized` agreed on fingerprint and
+    /// violations — the bit-identical reproduction guarantee.
+    pub bit_identical: bool,
+    /// Report from the confirming run of `minimized`.
+    pub report: ChaosReport,
+}
+
+/// Shrinks `plan` against `run`. Returns `None` when the full plan does
+/// not fail (nothing to shrink).
+pub fn shrink_plan<F>(plan: &FaultPlan, mut run: F) -> Option<ShrinkOutcome>
+where
+    F: FnMut(&FaultPlan) -> ChaosReport,
+{
+    let mut runs = 1usize;
+    if run(plan).passed() {
+        return None;
+    }
+
+    // 1. Shortest failing prefix. Invariant: events[..hi] fails.
+    let mut lo = 0usize;
+    let mut hi = plan.events.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let cand = plan.with_events(plan.events[..mid].to_vec());
+        runs += 1;
+        if !run(&cand).passed() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut events = plan.events[..hi].to_vec();
+
+    // 2. Greedy single-event removal, back to front so indices stay valid.
+    let mut i = events.len();
+    while i > 0 {
+        i -= 1;
+        let mut cand_events = events.clone();
+        cand_events.remove(i);
+        let cand = plan.with_events(cand_events.clone());
+        runs += 1;
+        if !run(&cand).passed() {
+            events = cand_events;
+        }
+    }
+
+    // 3. Bit-identical confirmation.
+    let minimized = plan.with_events(events);
+    let first = run(&minimized);
+    let second = run(&minimized);
+    runs += 2;
+    let bit_identical = !first.passed()
+        && first.fingerprint == second.fingerprint
+        && first.violations == second.violations;
+
+    Some(ShrinkOutcome {
+        minimized,
+        runs,
+        bit_identical,
+        report: second,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::HostKind;
+    use crate::plan::{FaultEvent, FaultKind};
+
+    /// A stub "host" that fails whenever the plan still contains a crash
+    /// of node 3, exercising the shrinker without a real run.
+    fn stub_run(plan: &FaultPlan) -> ChaosReport {
+        let bad = plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Crash { node: 3 }));
+        let violations = if bad {
+            vec![crate::oracle::Violation {
+                oracle: "stub",
+                node: Some(3),
+                detail: "crash of node 3 present".into(),
+            }]
+        } else {
+            Vec::new()
+        };
+        ChaosReport {
+            host: HostKind::Sim,
+            fingerprint: 42,
+            violations,
+            census: Vec::new(),
+            final_payload: None,
+            events_applied: plan.events.len(),
+            trace_json: None,
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn crash(at: u64, node: u32) -> FaultEvent {
+        FaultEvent {
+            at_micros: at,
+            kind: FaultKind::Crash { node },
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_event() {
+        let mut plan = FaultPlan::small(2);
+        plan.events = vec![crash(1, 1), crash(2, 2), crash(3, 3), crash(4, 4)];
+        let out = shrink_plan(&plan, stub_run).expect("plan fails");
+        assert_eq!(out.minimized.events, vec![crash(3, 3)]);
+        assert!(out.bit_identical);
+        assert!(!out.report.passed());
+    }
+
+    #[test]
+    fn passing_plan_returns_none() {
+        let mut plan = FaultPlan::small(2);
+        plan.events = vec![crash(1, 1)];
+        assert!(shrink_plan(&plan, stub_run).is_none());
+    }
+}

@@ -4,9 +4,11 @@
 //! Scope is by construction, not configuration:
 //!
 //! * **determinism** — `src/` of the protocol crates `core`, `overlay`,
-//!   `sim`, `net`, `trace` (the crates whose state machines must replay
-//!   bit-identically under a fixed seed; the tracer records replayed
-//!   runs, so it must not smuggle in wall-clock time of its own);
+//!   `sim`, `net`, `trace`, `chaos` (the crates whose state machines must
+//!   replay bit-identically under a fixed seed; the tracer records
+//!   replayed runs, so it must not smuggle in wall-clock time of its own,
+//!   and the chaos fault generator derives every fault from the plan seed
+//!   — ambient entropy there would make failing seeds unreproducible);
 //! * **panic_safety** — `src/` of `net` (runtime, codec, transports: the
 //!   code a hostile or lossy wire exercises);
 //! * **unsafe_code** — every library crate root (`crates/*/src/lib.rs`
@@ -26,7 +28,7 @@ use std::path::{Path, PathBuf};
 use crate::rules::{analyze_file, check_wire, FileCtx, Finding, Rule, WireSources};
 
 /// Crates whose protocol state machines must be deterministic.
-const PROTOCOL_CRATES: &[&str] = &["core", "overlay", "sim", "net", "trace"];
+const PROTOCOL_CRATES: &[&str] = &["core", "overlay", "sim", "net", "trace", "chaos"];
 
 /// Crates whose non-test code must be panic-free.
 const PANIC_FREE_CRATES: &[&str] = &["net"];

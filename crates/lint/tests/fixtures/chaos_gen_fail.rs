@@ -1,0 +1,33 @@
+//! Chaos fixture (failing): a fault generator that leaks ambient entropy
+//! and hash order into the fault schedule. Every leak below makes a
+//! failing seed unreproducible — the exact property the chaos harness
+//! sells. Expected: three findings.
+
+use std::collections::HashMap;
+
+pub struct FaultGen {
+    victims: HashMap<u64, u32>,
+}
+
+impl FaultGen {
+    /// Seeding from ambient entropy: two runs of "the same seed" diverge.
+    pub fn reseed(&self) -> u64 {
+        let mut rng = rand::thread_rng();
+        rng.next_u64()
+    }
+
+    /// Wall-clock in the schedule: replay shifts with host load.
+    pub fn deadline_millis(&self) -> u64 {
+        let now = std::time::SystemTime::now();
+        now.elapsed().map_or(0, |d| d.as_millis() as u64)
+    }
+
+    /// Hash-order victim choice: "first" depends on the hasher, not the
+    /// seed.
+    pub fn pick_crash(&self) -> Option<u64> {
+        for (id, _) in &self.victims {
+            return Some(*id);
+        }
+        None
+    }
+}

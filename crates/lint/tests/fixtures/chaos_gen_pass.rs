@@ -1,0 +1,48 @@
+//! Chaos fixture (passing): a fault generator that derives every choice
+//! from the plan seed and walks its victim tables in sorted order. This
+//! is the shape `crates/chaos` must keep — the failing twin shows the
+//! leaks the determinism rule exists to catch there.
+
+use std::collections::BTreeMap;
+
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn from_seed(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+pub struct FaultGen {
+    rng: Rng,
+    victims: BTreeMap<u64, u32>,
+}
+
+impl FaultGen {
+    pub fn new(seed: u64) -> Self {
+        FaultGen {
+            rng: Rng::from_seed(seed),
+            victims: BTreeMap::new(),
+        }
+    }
+
+    /// Crash victim: chosen by seeded RNG over a deterministically ordered
+    /// table.
+    pub fn pick_crash(&mut self) -> Option<u64> {
+        let ids: Vec<u64> = self.victims.keys().copied().collect();
+        if ids.is_empty() {
+            return None;
+        }
+        let i = (self.rng.next() as usize) % ids.len();
+        ids.get(i).copied()
+    }
+
+    pub fn record(&mut self, node: u64, strikes: u32) {
+        self.victims.insert(node, strikes);
+    }
+}

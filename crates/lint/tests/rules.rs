@@ -43,6 +43,35 @@ fn determinism_fail_fixture_flags_every_leak() {
     assert!(f.iter().any(|x| x.message.contains("`Instant`")));
 }
 
+/// The chaos fault generator is in determinism scope: a seed-derived RNG
+/// over ordered tables is clean.
+#[test]
+fn chaos_generator_pass_fixture_is_clean() {
+    let f = run(
+        "chaos_gen_pass.rs",
+        include_str!("fixtures/chaos_gen_pass.rs"),
+        &[Rule::Determinism],
+    );
+    assert!(f.is_empty(), "unexpected findings:\n{}", render(&f));
+}
+
+/// Ambient RNG, wall-clock deadlines, and hash-order victim choice in a
+/// fault generator must each be a finding — any one of them makes a
+/// failing chaos seed unreproducible.
+#[test]
+fn chaos_generator_fail_fixture_flags_every_entropy_leak() {
+    let f = run(
+        "chaos_gen_fail.rs",
+        include_str!("fixtures/chaos_gen_fail.rs"),
+        &[Rule::Determinism],
+    );
+    assert_eq!(f.len(), 3, "findings:\n{}", render(&f));
+    assert!(f.iter().all(|x| x.rule == Rule::Determinism));
+    assert!(f.iter().any(|x| x.message.contains("`thread_rng`")));
+    assert!(f.iter().any(|x| x.message.contains("`SystemTime`")));
+    assert!(f.iter().any(|x| x.message.contains("`for` loop")));
+}
+
 // ------------------------------------------------------------ panic safety
 
 #[test]

@@ -147,6 +147,12 @@ impl<P: DhtProtocol> NodeRuntime<P> {
         &self.actor
     }
 
+    /// Exclusive access to the hosted actor (e.g. for a harness to toggle
+    /// anti-entropy on a running node).
+    pub fn actor_mut(&mut self) -> &mut DhtActor<P> {
+        &mut self.actor
+    }
+
     /// Whether the node is alive (not crash-killed by the harness).
     pub fn is_alive(&self) -> bool {
         self.alive
@@ -155,6 +161,13 @@ impl<P: DhtProtocol> NodeRuntime<P> {
     /// Payload frames currently awaiting acknowledgement.
     pub fn unacked_frames(&self) -> usize {
         self.awaiting_ack.len()
+    }
+
+    /// Timers currently armed in this node's heap. A joined node at rest
+    /// holds exactly its three maintenance timers; anything more is leaked
+    /// runtime state (the chaos harness's cleanup oracle checks this).
+    pub fn armed_timers(&self) -> usize {
+        self.timers.len()
     }
 
     fn push_timer(&mut self, at: SimTime, tag: u64) {
@@ -367,6 +380,21 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         &self.transport
     }
 
+    /// Exclusive access to the transport — fault injection (partitions,
+    /// loss bursts, duplication) happens here.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Exclusive access to node `i` (e.g. to toggle anti-entropy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` — same contract as [`Cluster::node`].
+    pub fn node_mut(&mut self, i: usize) -> &mut NodeRuntime<P> {
+        self.node_at_mut(i)
+    }
+
     /// Snapshot of the transport's wire counters.
     pub fn counters(&self) -> WireCounters {
         self.transport.counters()
@@ -430,6 +458,71 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         nd.awaiting_ack.clear();
         let at = self.now.micros();
         self.tracer.record(at, i as u64, EventKind::Crash);
+    }
+
+    /// Restarts a crashed node `i` with *fresh* state — the deployment
+    /// model of a host rebooting: same identity and endpoint, empty
+    /// routing tables and payload store, rejoining through a live peer.
+    /// The node's RNG stream and wire sequence numbers continue where they
+    /// left off, so restarts stay deterministic and old in-flight frames
+    /// cannot collide with new ones. Returns `false` if `i` is alive (a
+    /// running node cannot be restarted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn restart(&mut self, i: usize) -> bool {
+        if self.node_at(i).alive {
+            return false;
+        }
+        let member = *self.node_at(i).actor.member();
+        let mut actor = DhtActor::new(self.space, member, self.protocol.clone());
+        let directory: HashMap<u64, ActorId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(j, nd)| (nd.actor.member().id.value(), ActorId(j)))
+            .collect();
+        actor.set_directory(directory);
+        let nd = self.node_at_mut(i);
+        nd.actor = actor;
+        nd.alive = true;
+        nd.timers.clear();
+        nd.awaiting_ack.clear();
+        let at = self.now.micros();
+        self.tracer.record(at, i as u64, EventKind::Restart);
+        if let Some(bootstrap) = self.bootstrap_for(i) {
+            self.send_join_request(i, bootstrap);
+        }
+        true
+    }
+
+    /// The lowest-numbered live, joined node other than `exclude` — the
+    /// bootstrap peer for joins and restarts.
+    fn bootstrap_for(&self, exclude: usize) -> Option<usize> {
+        (0..self.nodes.len()).find(|&j| {
+            j != exclude && self.node_at(j).alive && self.node_at(j).actor.is_joined()
+        })
+    }
+
+    /// Re-sends a join request for every live node whose join has not
+    /// completed. Join traffic is unacknowledged, so a request lost to the
+    /// wire — or answered by a bootstrap that crashed first — would strand
+    /// the joiner forever; a periodic retry makes joins self-healing, the
+    /// same way [`Cluster::join_and_wait`] retries inline. Returns how many
+    /// requests were re-sent.
+    pub fn retry_stalled_joins(&mut self) -> usize {
+        let mut retried = 0;
+        for i in 0..self.nodes.len() {
+            if !self.node_at(i).alive || self.node_at(i).actor.is_joined() {
+                continue;
+            }
+            if let Some(bootstrap) = self.bootstrap_for(i) {
+                self.send_join_request(i, bootstrap);
+                retried += 1;
+            }
+        }
+        retried
     }
 
     /// Adds `member` as a fresh node on the next free transport endpoint

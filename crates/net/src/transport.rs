@@ -7,7 +7,7 @@
 //! protocol logic runs over both, which is the whole point of the layer.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use cam_sim::rng::SimRng;
 use cam_sim::{LatencyModel, SimTime};
@@ -126,6 +126,14 @@ pub struct InMemoryTransport {
     latency: LatencyModel,
     rng: SimRng,
     loss_probability: f64,
+    /// Probability in `[0, 1]` that a frame is delivered twice (with an
+    /// independent second latency draw) — lost-ack and routing-flap
+    /// duplication, which the ack/retransmit layer must tolerate.
+    duplicate_probability: f64,
+    /// Directed endpoint pairs `(from, to)` whose frames are dropped —
+    /// asymmetric partition injection. Ordered so fault state never
+    /// perturbs the RNG stream or iteration order.
+    blocked: BTreeSet<(usize, usize)>,
     seq: u64,
     queue: BinaryHeap<Reverse<InFlight>>,
     counters: WireCounters,
@@ -140,6 +148,8 @@ impl InMemoryTransport {
             latency,
             rng: SimRng::new(seed).split(0x11E7),
             loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            blocked: BTreeSet::new(),
             seq: 0,
             queue: BinaryHeap::new(),
             counters: WireCounters::default(),
@@ -158,6 +168,50 @@ impl InMemoryTransport {
         );
         self.loss_probability = p;
     }
+
+    /// Sets the independent per-frame duplication probability in `[0, 1]`:
+    /// a duplicated frame is enqueued twice, the copy with its own latency
+    /// draw (so the two arrivals may reorder). The wire counts each copy's
+    /// bytes as sent, like a real NIC would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn set_duplicate_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability {p} out of range"
+        );
+        self.duplicate_probability = p;
+    }
+
+    /// Blocks (or unblocks) the directed link `from → to`: frames along it
+    /// are dropped and counted in [`WireCounters::frames_dropped`].
+    /// Blocking a single direction models an *asymmetric* partition.
+    pub fn set_link_blocked(&mut self, from: usize, to: usize, blocked: bool) {
+        if blocked {
+            self.blocked.insert((from, to));
+        } else {
+            self.blocked.remove(&(from, to));
+        }
+    }
+
+    /// Removes every link block (heals all partitions).
+    pub fn clear_blocked_links(&mut self) {
+        self.blocked.clear();
+    }
+
+    fn enqueue(&mut self, now: SimTime, from: usize, to: usize, frame: &[u8]) {
+        let delay = self.latency.sample(from, to, &mut self.rng);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight {
+            at: now + delay,
+            seq,
+            to,
+            frame: frame.to_vec(),
+        }));
+    }
 }
 
 impl Transport for InMemoryTransport {
@@ -168,19 +222,21 @@ impl Transport for InMemoryTransport {
     fn send(&mut self, now: SimTime, from: usize, to: usize, frame: &[u8]) {
         assert!(from < self.endpoints && to < self.endpoints, "bad endpoint");
         self.counters.bytes_sent += frame.len() as u64;
+        // Blocked links consume no randomness, so installing/healing a
+        // partition never shifts the RNG stream of unaffected traffic.
+        if !self.blocked.is_empty() && self.blocked.contains(&(from, to)) {
+            self.counters.frames_dropped += 1;
+            return;
+        }
         if self.loss_probability > 0.0 && self.rng.unit() < self.loss_probability {
             self.counters.frames_dropped += 1;
             return;
         }
-        let delay = self.latency.sample(from, to, &mut self.rng);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(InFlight {
-            at: now + delay,
-            seq,
-            to,
-            frame: frame.to_vec(),
-        }));
+        self.enqueue(now, from, to, frame);
+        if self.duplicate_probability > 0.0 && self.rng.unit() < self.duplicate_probability {
+            self.counters.bytes_sent += frame.len() as u64;
+            self.enqueue(now, from, to, frame);
+        }
     }
 
     fn poll(&mut self, now: SimTime) -> Option<(usize, Vec<u8>)> {
@@ -255,6 +311,64 @@ mod tests {
         );
         assert!(t.poll(SimTime::ZERO + Duration::from_millis(10)).is_some());
         assert!(t.next_ready().is_none());
+    }
+
+    #[test]
+    fn blocked_links_are_asymmetric_and_healable() {
+        let mut t =
+            InMemoryTransport::new(2, 3, LatencyModel::Constant(Duration::from_millis(1)));
+        t.set_link_blocked(0, 1, true);
+        t.send(SimTime::ZERO, 0, 1, b"cut");
+        t.send(SimTime::ZERO, 1, 0, b"back");
+        // Only the reverse direction gets through.
+        let (to, frame) = t.poll(SimTime(u64::MAX / 2)).expect("reverse path open");
+        assert_eq!((to, frame.as_slice()), (0, b"back".as_slice()));
+        assert!(t.poll(SimTime(u64::MAX / 2)).is_none());
+        assert_eq!(t.counters().frames_dropped, 1);
+        t.clear_blocked_links();
+        t.send(SimTime::ZERO, 0, 1, b"healed");
+        assert!(t.poll(SimTime(u64::MAX / 2)).is_some());
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_counts_bytes() {
+        let mut t =
+            InMemoryTransport::new(2, 4, LatencyModel::Constant(Duration::from_millis(1)));
+        t.set_duplicate_probability(1.0);
+        t.send(SimTime::ZERO, 0, 1, b"twin");
+        assert!(t.poll(SimTime(u64::MAX / 2)).is_some());
+        assert!(t.poll(SimTime(u64::MAX / 2)).is_some());
+        assert!(t.poll(SimTime(u64::MAX / 2)).is_none());
+        assert_eq!(t.counters().bytes_sent, 8, "both copies count as sent");
+    }
+
+    #[test]
+    fn fault_free_stream_is_unperturbed_by_fault_surface() {
+        // Installing and removing a block on an unused link must not shift
+        // the RNG stream: delivery times stay bit-identical.
+        let run = |touch_faults: bool| {
+            let mut t = InMemoryTransport::new(
+                3,
+                9,
+                LatencyModel::Uniform {
+                    min: Duration::from_millis(5),
+                    max: Duration::from_millis(50),
+                },
+            );
+            if touch_faults {
+                t.set_link_blocked(2, 0, true);
+                t.clear_blocked_links();
+            }
+            for i in 0..8 {
+                t.send(SimTime::ZERO, 0, 1, &[i]);
+            }
+            let mut got = Vec::new();
+            while let Some((_, f)) = t.poll(SimTime(u64::MAX / 2)) {
+                got.push(f);
+            }
+            got
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -130,6 +130,45 @@ impl Transport for UdpTransport {
 mod tests {
     use super::*;
 
+    /// Regression: every endpoint must bind `127.0.0.1:0` and end up on
+    /// its own kernel-assigned ephemeral port — a fixed port would make
+    /// concurrent clusters (parallel tests, a chaos run next to a dev
+    /// node) collide with EADDRINUSE.
+    #[test]
+    fn endpoints_get_distinct_ephemeral_ports() {
+        let t = UdpTransport::bind(8).expect("bind loopback");
+        let mut ports: Vec<u16> = (0..8).map(|i| t.addr(i).port()).collect();
+        assert!(ports.iter().all(|&p| p != 0), "kernel assigned a real port");
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 8, "every endpoint has its own port");
+    }
+
+    /// Two transports bound at the same time must coexist: with
+    /// ephemeral ports there is nothing to fight over, and frames sent
+    /// within each cluster stay within it.
+    #[test]
+    fn parallel_transports_coexist() {
+        let mut a = UdpTransport::bind(2).expect("bind first cluster");
+        let mut b = UdpTransport::bind(2).expect("bind second cluster");
+        assert!((0..2).all(|i| (0..2).all(|j| a.addr(i) != b.addr(j))));
+        a.send(SimTime::ZERO, 0, 1, b"cluster a");
+        b.send(SimTime::ZERO, 1, 0, b"cluster b");
+        let recv = |t: &mut UdpTransport| {
+            for _ in 0..1000 {
+                if let Some(x) = t.poll(SimTime::ZERO) {
+                    return Some(x);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            None
+        };
+        let (to_a, frame_a) = recv(&mut a).expect("cluster a frame arrives");
+        let (to_b, frame_b) = recv(&mut b).expect("cluster b frame arrives");
+        assert_eq!((to_a, frame_a.as_slice()), (1, b"cluster a".as_slice()));
+        assert_eq!((to_b, frame_b.as_slice()), (0, b"cluster b".as_slice()));
+    }
+
     #[test]
     fn frames_cross_real_sockets() {
         let mut t = UdpTransport::bind(2).expect("bind loopback");

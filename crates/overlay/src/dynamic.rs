@@ -649,6 +649,29 @@ impl<P: DhtProtocol> DhtActor<P> {
                     strikes: u32::from(self.stabilize_strikes),
                 });
                 self.stabilize_strikes = 0;
+            } else if self.stabilize_strikes >= 4 && self.successors.len() == 1 {
+                // Last-resort escape: the only remaining successor is
+                // dead, and the list can only be replenished by its
+                // replies — which will never come. Reseed from the
+                // nearest clockwise finger (extra strikes first, since
+                // this jump may overshoot live nodes and stabilization
+                // must walk it back).
+                let dead = self.successors[0];
+                let replacement = self
+                    .fingers
+                    .values()
+                    .filter(|m| m.id != dead.id && m.id != self.me.id)
+                    .min_by_key(|m| self.space.seg_len(self.me.id, m.id))
+                    .copied();
+                if let Some(next) = replacement {
+                    self.successors[0] = next;
+                    self.fingers.retain(|_, m| m.id != dead.id);
+                    ctx.trace(EventKind::NeighborMiss {
+                        neighbor: dead.id.value(),
+                        strikes: u32::from(self.stabilize_strikes),
+                    });
+                    self.stabilize_strikes = 0;
+                }
             }
         } else {
             self.stabilize_strikes = 0;
@@ -745,6 +768,18 @@ impl<P: DhtProtocol> DhtActor<P> {
     /// [`Actor::on_message`] forwards here, and `cam-net`'s runtime calls
     /// it directly with decoded wire frames.
     pub fn deliver<D: DhtDriver>(&mut self, ctx: &mut D, from: ActorId, msg: DhtMsg) {
+        // A node that has not completed its (re)join is not a ring member
+        // yet. Answering liveness or stabilize traffic here would let a
+        // restarted node masquerade as its pre-crash incarnation: its old
+        // successor keeps it as predecessor (pings answered), and its old
+        // predecessor adopts its *empty* successor list from a
+        // StabilizeReply — which can collapse that list to just this
+        // zombie and wedge the ring permanently. Until the join handshake
+        // finishes, only the handshake itself is processed; everything
+        // else sees this node as what it currently is — absent.
+        if !self.joined && !matches!(msg, DhtMsg::JoinAnswer { .. }) {
+            return;
+        }
         match msg {
             DhtMsg::Lookup {
                 key,
@@ -830,10 +865,17 @@ impl<P: DhtProtocol> DhtActor<P> {
                     self.pred_strikes = 0;
                 } else if let Some((target, probed)) = self.pending_pings.remove(&req_id) {
                     if probed == member.id {
-                        // Refresh the entry (capacity/bandwidth may change)
-                        // and clear any strike from a previously lost probe.
-                        self.fingers.insert(target, member);
+                        // The member answered: clear any strike from a
+                        // previously lost probe. Refresh the entry only if
+                        // the slot still points at it — a concurrent
+                        // fix-finger lookup may have re-resolved the slot
+                        // to a newer owner, and a late Pong from the old
+                        // (alive but no longer responsible) resident must
+                        // not clobber that resolution back to stale.
                         self.ping_strikes.remove(&member.id.value());
+                        if self.fingers.get(&target).is_some_and(|m| m.id == probed) {
+                            self.fingers.insert(target, member);
+                        }
                     }
                 }
             }
@@ -910,7 +952,15 @@ impl<P: DhtProtocol> DhtActor<P> {
                 // directly if we already know: simplest correct behaviour is
                 // to forward the request greedily toward the owner.
                 if let Some(pred) = &self.predecessor {
-                    if self.space.in_segment(joiner.id, pred.id, self.me.id) {
+                    // `pred.id == joiner.id` is a *rejoin*: a node that
+                    // crashed and restarted while we still list it as
+                    // predecessor (it keeps answering pings, so failure
+                    // detection never evicts it). The segment check alone
+                    // excludes that case — (pred, me] does not contain
+                    // pred — and the request would orbit forever.
+                    if pred.id == joiner.id
+                        || self.space.in_segment(joiner.id, pred.id, self.me.id)
+                    {
                         ctx.trace(EventKind::JoinRequest {
                             joiner: joiner.id.value(),
                         });
@@ -936,21 +986,27 @@ impl<P: DhtProtocol> DhtActor<P> {
                         );
                         return;
                     }
+                    // Greedy clockwise step, NOT `protocol.next_hop`: the
+                    // protocol's routing may thread per-request state
+                    // across hops (Koorde's absorbed-bit chain rides in
+                    // `Lookup.state`), and a JoinRequest has nowhere to
+                    // carry it. Recomputing fresh state each hop makes de
+                    // Bruijn hops jump without converging — the request
+                    // can orbit the ring forever. Greedy clockwise
+                    // progress is protocol-agnostic and terminates: every
+                    // hop strictly shrinks the distance to the joiner
+                    // (the successor is always in `(me, joiner)` here,
+                    // since `(me, succ]` was handled above).
                     let neighbors = self.neighbor_members();
-                    let mut state =
-                        self.protocol.initial_state(self.space, &self.me, joiner.id);
-                    let next = self
-                        .protocol
-                        .next_hop(
-                            self.space,
-                            &self.me,
-                            &neighbors,
-                            &succ,
-                            self.predecessor.as_ref(),
-                            joiner.id,
-                            &mut state,
-                        )
-                        .unwrap_or(succ.id);
+                    let next = neighbors
+                        .iter()
+                        .chain(std::iter::once(&succ))
+                        .filter(|m| {
+                            self.space.in_segment(m.id, self.me.id, joiner.id)
+                                && m.id != joiner.id
+                        })
+                        .max_by_key(|m| self.space.seg_len(self.me.id, m.id))
+                        .map_or(succ.id, |m| m.id);
                     let next = if next == self.me.id { succ.id } else { next };
                     self.send_to_member(
                         ctx,
@@ -962,7 +1018,12 @@ impl<P: DhtProtocol> DhtActor<P> {
                     );
                 }
             }
-            DhtMsg::JoinAnswer { successors } => {
+            DhtMsg::JoinAnswer { mut successors } => {
+                // A rejoining node can be offered a list that still
+                // contains its own pre-crash incarnation (its old
+                // successor answers with a list starting at the joiner).
+                // Adopting ourselves as successor would wedge the ring.
+                successors.retain(|m| m.id != self.me.id);
                 if !self.joined && !successors.is_empty() {
                     ctx.trace(EventKind::JoinComplete {
                         joiner: self.me.id.value(),
@@ -1177,6 +1238,95 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
             },
         );
         Some(new_id)
+    }
+
+    /// Restarts the crashed member `id` with *fresh* state — the sim-host
+    /// counterpart of a host rebooting: same ring identity, empty routing
+    /// tables and payload store, rejoining through a live peer. The dead
+    /// actor's slot stays dead (the simulator drops traffic to it, exactly
+    /// like frames addressed to the pre-crash incarnation); the member's
+    /// directory entry is re-pointed at the new incarnation everywhere.
+    ///
+    /// Returns the new actor id, or `None` if `id` is unknown or still
+    /// alive (a running node cannot be restarted).
+    pub fn revive(&mut self, id: Id, protocol: P) -> Option<ActorId> {
+        let pos = self.actors.iter().position(|(m, _)| m.id == id)?;
+        let (member, old) = self.actors[pos];
+        if self.sim.is_alive(old) {
+            return None;
+        }
+        let mut actor = DhtActor::new(self.space, member, protocol);
+        let directory: HashMap<u64, ActorId> = self
+            .actors
+            .iter()
+            .map(|(m, a)| (m.id.value(), *a))
+            .collect();
+        actor.set_directory(directory);
+        let new_id = self.sim.add_actor(actor);
+        self.sim
+            .actor_mut(new_id)
+            .expect("just added")
+            .add_directory_entry(member.id, new_id);
+        let pairs: Vec<ActorId> = self.actors.iter().map(|(_, a)| *a).collect();
+        for a in pairs {
+            if let Some(existing) = self.sim.actor_mut(a) {
+                existing.add_directory_entry(member.id, new_id);
+            }
+        }
+        self.actors[pos].1 = new_id;
+        let at = self.sim.now().micros();
+        self.sim
+            .tracer_mut()
+            .record(at, new_id.0 as u64, EventKind::Restart);
+        if let Some(bootstrap) = self.bootstrap_for(new_id) {
+            self.sim.post(
+                new_id,
+                bootstrap,
+                DhtMsg::JoinRequest {
+                    joiner: member,
+                    joiner_actor: new_id,
+                },
+            );
+        }
+        Some(new_id)
+    }
+
+    /// The first live, joined actor other than `exclude` — the bootstrap
+    /// peer for joins, restarts, and join retries.
+    fn bootstrap_for(&self, exclude: ActorId) -> Option<ActorId> {
+        self.actors
+            .iter()
+            .map(|(_, a)| *a)
+            .find(|a| *a != exclude && self.sim.actor(*a).is_some_and(DhtActor::is_joined))
+    }
+
+    /// Re-sends a join request for every live actor whose join has not
+    /// completed — e.g. a joiner whose bootstrap crashed before answering.
+    /// Join traffic is best-effort, so without retries such a node would
+    /// stay stranded forever. Returns how many requests were re-sent.
+    pub fn retry_stalled_joins(&mut self) -> usize {
+        let stalled: Vec<(Member, ActorId)> = self
+            .actors
+            .iter()
+            .copied()
+            .filter(|(_, a)| self.sim.actor(*a).is_some_and(|x| !x.is_joined()))
+            .collect();
+        let mut retried = 0;
+        for (member, a) in stalled {
+            let Some(bootstrap) = self.bootstrap_for(a) else {
+                continue;
+            };
+            self.sim.post(
+                a,
+                bootstrap,
+                DhtMsg::JoinRequest {
+                    joiner: member,
+                    joiner_actor: a,
+                },
+            );
+            retried += 1;
+        }
+        retried
     }
 
     /// Removes the member with identifier `id` (crash semantics: peers

@@ -96,6 +96,77 @@ proptest! {
         prop_assert!(dist - j * ci < ci);
     }
 
+    /// `(x, x]` is always empty: zero length, contains nothing — not even
+    /// its own anchor — and iterates zero identifiers.
+    #[test]
+    fn empty_segment_contains_nothing((space, x, z, _) in space_and_ids()) {
+        let seg = Segment::empty(Id(x));
+        prop_assert!(seg.is_empty());
+        prop_assert_eq!(seg.len(space), 0);
+        prop_assert!(!seg.contains(space, Id(z)));
+        prop_assert!(!seg.contains(space, Id(x)));
+    }
+
+    /// `all_but(x)` = `(x, x − 1]` is the complement of the anchor: length
+    /// N − 1, containing every identifier except `x` itself.
+    #[test]
+    fn all_but_is_anchor_complement((space, x, z, _) in space_and_ids()) {
+        let seg = Segment::all_but(space, Id(x));
+        prop_assert_eq!(seg.len(space), space.size() - 1);
+        prop_assert!(!seg.contains(space, Id(x)));
+        prop_assert_eq!(seg.contains(space, Id(z)), z != x);
+    }
+
+    /// `(x − 1, x]` is the single-point segment: exactly `{x}`.
+    #[test]
+    fn single_point_segment((space, x, z, _) in space_and_ids()) {
+        let seg = Segment::new(space.sub(Id(x), 1), Id(x));
+        prop_assert_eq!(seg.len(space), 1);
+        prop_assert!(seg.contains(space, Id(x)));
+        prop_assert_eq!(seg.contains(space, Id(z)), z == x);
+        prop_assert_eq!(seg.iter(space).collect::<Vec<_>>(), vec![Id(x)]);
+    }
+
+    /// Cutting a parent region at `c_x` interior points (the multicast
+    /// child-region split, wrap-around included) yields child segments that
+    /// sum exactly to the parent — no gap, no overlap — and whose membership
+    /// union is the parent's.
+    #[test]
+    fn child_regions_partition_parent(
+        (space, x, k, _) in space_and_ids(),
+        raw_cuts in prop::collection::vec(0u64..u64::MAX, 0..6),
+        probe in 0u64..u64::MAX,
+    ) {
+        let (x, k) = (Id(x), Id(k));
+        prop_assume!(x != k);
+        let parent = Segment::new(x, k);
+        // Map arbitrary u64s to distinct cut points inside (x, k], sorted
+        // clockwise from x; the split walks cut→cut with the last child
+        // running to the parent's end — exactly the multicast assignment.
+        let mut offsets: Vec<u64> = raw_cuts.iter()
+            .map(|&r| 1 + r % parent.len(space))
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        let cuts: Vec<Id> = offsets.iter().map(|&d| space.add(x, d)).collect();
+        let mut children = Vec::new();
+        let mut from = x;
+        for &cut in &cuts {
+            children.push(Segment::new(from, cut));
+            from = cut;
+        }
+        children.push(Segment::new(from, k));
+        // Lengths sum exactly (the final segment may be empty when the
+        // last cut is k itself — still length 0, no overlap).
+        let total: u64 = children.iter().map(|c| c.len(space)).sum();
+        prop_assert_eq!(total, parent.len(space));
+        // Membership: every probe id is in the parent iff it is in exactly
+        // one child.
+        let p = space.reduce(probe);
+        let owners = children.iter().filter(|c| c.contains(space, p)).count();
+        prop_assert_eq!(owners, usize::from(parent.contains(space, p)));
+    }
+
     /// Segment iteration matches membership on small rings.
     #[test]
     fn iter_matches_contains(bits in 1u32..=8, x in 0u64..256, k in 0u64..256) {

@@ -11,7 +11,7 @@
 //! timestamps are delivered in the order they were scheduled.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 use cam_trace::{EventKind, NopTracer, Tracer};
 
@@ -175,6 +175,11 @@ pub struct Simulation<A: Actor> {
     stats: SimStats,
     /// Probability in `[0, 1]` that any message is lost in transit.
     loss_probability: f64,
+    /// Directed actor pairs `(from, to)` whose traffic is silently dropped
+    /// (asymmetric partition injection; see
+    /// [`Simulation::set_link_blocked`]). Ordered so fault state never
+    /// perturbs determinism.
+    blocked: BTreeSet<(usize, usize)>,
     /// Optional per-message wire-size function feeding the byte counters
     /// in [`SimStats`] (e.g. `cam-net`'s encoded frame length).
     wire_cost: Option<fn(&A::Msg) -> usize>,
@@ -204,6 +209,7 @@ impl<A: Actor> Simulation<A> {
             rng: SimRng::new(seed).split(0xEC0),
             stats: SimStats::default(),
             loss_probability: 0.0,
+            blocked: BTreeSet::new(),
             wire_cost: None,
             tracer: Box::new(NopTracer),
         }
@@ -244,6 +250,45 @@ impl<A: Actor> Simulation<A> {
             "loss probability {p} out of range"
         );
         self.loss_probability = p;
+    }
+
+    /// Blocks (or unblocks) the directed link `from → to`: actor-originated
+    /// messages along it are dropped, counted in [`SimStats::dropped`].
+    /// Blocking one direction only models an *asymmetric* partition —
+    /// exactly the failure mode that traps naive failure detectors.
+    /// Externally injected [`Simulation::post`] messages bypass blocks,
+    /// like they bypass loss.
+    pub fn set_link_blocked(&mut self, from: ActorId, to: ActorId, blocked: bool) {
+        if blocked {
+            self.blocked.insert((from.0, to.0));
+        } else {
+            self.blocked.remove(&(from.0, to.0));
+        }
+    }
+
+    /// Removes every link block installed via
+    /// [`Simulation::set_link_blocked`] (heals all partitions).
+    pub fn clear_blocked_links(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Number of in-flight *messages* (not timers) currently scheduled.
+    /// Zero means the network is quiescent: nothing is on the wire, and
+    /// only periodic timers remain — the instant at which the chaos
+    /// harness's invariant oracles run.
+    pub fn pending_message_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Some(Event {
+                        payload: Payload::Message { .. },
+                        ..
+                    })
+                )
+            })
+            .count()
     }
 
     /// Installs a per-message wire-size function: every sent message adds
@@ -409,6 +454,10 @@ impl<A: Actor> Simulation<A> {
                 self.stats.sent += 1;
                 if let Some(cost) = self.wire_cost {
                     self.stats.bytes_sent += cost(&msg) as u64;
+                }
+                if !self.blocked.is_empty() && self.blocked.contains(&(from.0, to.0)) {
+                    self.stats.dropped += 1;
+                    continue;
                 }
                 if self.loss_probability > 0.0 && self.rng.unit() < self.loss_probability {
                     self.stats.dropped += 1;

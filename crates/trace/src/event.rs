@@ -104,6 +104,15 @@ pub enum EventKind {
     Crash,
     /// The actor departed gracefully.
     Leave,
+    /// A previously crashed actor was restarted with fresh (empty) state
+    /// and is rejoining the overlay.
+    Restart,
+    /// An invariant oracle found a violation at this actor (recorded by
+    /// the chaos harness so replay bundles carry the verdict in-band).
+    OracleViolation {
+        /// Stable name of the violated oracle.
+        oracle: &'static str,
+    },
     /// A named phase began (bench/run stage attribution; pair with
     /// [`EventKind::PhaseEnd`]).
     PhaseBegin {
@@ -134,6 +143,8 @@ impl EventKind {
             EventKind::JoinComplete { .. } => "join_complete",
             EventKind::Crash => "crash",
             EventKind::Leave => "leave",
+            EventKind::Restart => "restart",
+            EventKind::OracleViolation { .. } => "oracle_violation",
             EventKind::PhaseBegin { .. } => "phase_begin",
             EventKind::PhaseEnd { .. } => "phase_end",
         }
@@ -184,6 +195,8 @@ mod tests {
             EventKind::JoinComplete { joiner: 0 },
             EventKind::Crash,
             EventKind::Leave,
+            EventKind::Restart,
+            EventKind::OracleViolation { oracle: "x" },
             EventKind::PhaseBegin { name: "x" },
             EventKind::PhaseEnd { name: "x" },
         ];

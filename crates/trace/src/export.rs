@@ -95,8 +95,12 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::JoinRequest { joiner } | EventKind::JoinComplete { joiner } => {
             let _ = write!(out, ",\"joiner\":{joiner}");
         }
+        EventKind::OracleViolation { oracle } => {
+            let _ = write!(out, ",\"oracle\":\"{oracle}\"");
+        }
         EventKind::Crash
         | EventKind::Leave
+        | EventKind::Restart
         | EventKind::PhaseBegin { .. }
         | EventKind::PhaseEnd { .. } => {}
     }

@@ -47,6 +47,7 @@
 //! `cam-experiments` crate for the figure-by-figure reproduction of the
 //! paper's evaluation.
 
+pub use cam_chaos as chaos;
 pub use cam_core as core;
 pub use cam_metrics as metrics;
 pub use cam_net as net;

@@ -1,80 +1,30 @@
 //! Randomized torture test: an arbitrary interleaving of crashes, joins,
 //! and multicasts must always leave the overlay able to self-heal back to
 //! complete delivery once churn stops.
+//!
+//! Since the cam-chaos harness landed, torture is a *preset* of the
+//! seeded fault-plan generator rather than ad-hoc RNG driving: the same
+//! pinned seeds now run the full oracle catalog (delivery, duplicate
+//! suppression, ring convergence, neighbor-table ideal, cleanup) at the
+//! quiescent point, and a failure here shrinks and replays through
+//! `cam-chaos --replay` instead of bisecting by hand.
 
-use cam::overlay::dynamic::DynamicNetwork;
-use cam::prelude::*;
-use cam::sim::time::Duration;
-use cam::sim::LatencyModel;
-use rand::{Rng, SeedableRng};
+use cam::chaos::{run_plan, FaultPlan, HostKind};
 
 fn torture(seed: u64) {
-    let n = 220;
-    let members: Vec<Member> = Scenario::paper_default(seed)
-        .with_n(n)
-        .members()
-        .iter()
-        .copied()
-        .collect();
-    let space = IdSpace::PAPER;
-    let mut net = DynamicNetwork::converged(
-        space,
-        &members,
-        CamChordProtocol,
-        seed,
-        LatencyModel::Uniform {
-            min: Duration::from_millis(10),
-            max: Duration::from_millis(60),
-        },
-    );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7042);
-    let anchor = net.actors()[0].1; // never killed, used as source
-
-    let mut next_fresh_id = 7u64;
-    for _round in 0..12 {
-        match rng.gen_range(0..10u32) {
-            // 40%: crash someone.
-            0..=3 => {
-                net.kill_random(rng.gen_range(1..6), anchor, rng.gen());
-            }
-            // 30%: a newcomer joins.
-            4..=6 => {
-                let id = loop {
-                    let candidate = Id(next_fresh_id % space.size());
-                    next_fresh_id = next_fresh_id
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(11);
-                    if net.actor_of(candidate).is_none() {
-                        break candidate;
-                    }
-                };
-                let member = Member {
-                    id,
-                    capacity: rng.gen_range(4..=10),
-                    upload_kbps: rng.gen_range(400.0..=1000.0),
-                };
-                net.inject_join(member, CamChordProtocol);
-            }
-            // 30%: multicast mid-churn (no assertion — tables may be stale).
-            _ => {
-                let payload = net.start_multicast(anchor, true);
-                net.sim.run_until(net.sim.now() + Duration::from_secs(5));
-                let ratio = net.delivery_ratio(payload);
-                assert!(ratio > 0.0, "seed {seed}: multicast died entirely");
-            }
-        }
-        net.sim
-            .run_until(net.sim.now() + Duration::from_millis(rng.gen_range(500..4_000)));
-    }
-
-    // Quiesce: let maintenance fully repair, then demand complete delivery.
-    net.sim.run_until(net.sim.now() + Duration::from_secs(150));
-    let payload = net.start_multicast(anchor, true);
-    net.sim.run_until(net.sim.now() + Duration::from_secs(20));
-    let ratio = net.delivery_ratio(payload);
+    let plan = FaultPlan::torture(seed);
+    let report = run_plan(&plan, HostKind::Sim, false);
     assert!(
-        ratio > 0.99,
-        "seed {seed}: post-quiesce delivery only {ratio:.3}"
+        report.passed(),
+        "torture seed {seed}: {} oracle violation(s), first: {:?}",
+        report.violations.len(),
+        report.violations.first()
+    );
+    // The quiescent-point multicast must have reached every live member.
+    let (payload, live, delivered) = *report.census.last().expect("final multicast ran");
+    assert_eq!(
+        delivered, live,
+        "torture seed {seed}: payload {payload} delivered to {delivered}/{live}"
     );
 }
 
