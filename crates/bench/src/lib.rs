@@ -12,6 +12,7 @@
 use cam_experiments::Options;
 
 pub mod baseline;
+pub mod rss;
 
 /// Bench-sized options: small enough for Criterion iterations, large
 /// enough that the algorithms dominate constant overheads.

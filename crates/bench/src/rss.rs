@@ -1,0 +1,93 @@
+//! Self-contained process-memory readings from `/proc/self/status`.
+//!
+//! The scale benches report peak resident set size alongside throughput —
+//! the whole point of the struct-of-arrays / streaming work is the memory
+//! curve, so the harness must measure it without pulling in a crate. On
+//! non-Linux hosts (or a masked `/proc`) every reading is `None` and the
+//! JSON emits `null`; nothing else in the bench depends on these values.
+
+/// A point-in-time memory reading, in mebibytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemReading {
+    /// Current resident set size (`VmRSS`), MiB.
+    pub rss_mb: Option<f64>,
+    /// Peak resident set size since process start (`VmHWM`), MiB. The
+    /// kernel's high-water mark is monotone, so a phase's value includes
+    /// every earlier phase — readings must be interpreted in run order.
+    pub peak_rss_mb: Option<f64>,
+}
+
+/// Reads `VmRSS` and `VmHWM` from `/proc/self/status`.
+pub fn read_memory() -> MemReading {
+    match std::fs::read_to_string("/proc/self/status") {
+        Ok(status) => parse_status(&status),
+        Err(_) => MemReading::default(),
+    }
+}
+
+/// Number of online logical CPUs, from `/proc/cpuinfo` — what the machine
+/// actually has, as opposed to `available_parallelism`, which an affinity
+/// mask or cgroup quota can shrink. Falls back to `available_parallelism`
+/// when `/proc` is unavailable.
+pub fn hardware_threads() -> usize {
+    let counted = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    if counted > 0 {
+        counted
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Parses the `VmRSS:`/`VmHWM:` lines of a `/proc/<pid>/status` blob.
+/// Values are reported by the kernel in kB.
+fn parse_status(status: &str) -> MemReading {
+    let field = |key: &str| -> Option<f64> {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))?
+            .split_whitespace()
+            .nth(1)?
+            .parse::<f64>()
+            .ok()
+            .map(|kb| kb / 1024.0)
+    };
+    MemReading {
+        rss_mb: field("VmRSS:"),
+        peak_rss_mb: field("VmHWM:"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kernel_status_format() {
+        let status = "Name:\thotpath\nVmPeak:\t  201000 kB\nVmRSS:\t  102400 kB\n\
+                      VmHWM:\t  204800 kB\nThreads:\t1\n";
+        let m = parse_status(status);
+        assert_eq!(m.rss_mb, Some(100.0));
+        assert_eq!(m.peak_rss_mb, Some(200.0));
+    }
+
+    #[test]
+    fn missing_fields_read_as_none() {
+        assert_eq!(parse_status("Name:\tx\n"), MemReading::default());
+        assert_eq!(parse_status("VmRSS:\tgarbage kB\n").rss_mb, None);
+    }
+
+    #[test]
+    fn live_reading_on_linux() {
+        let m = read_memory();
+        if cfg!(target_os = "linux") {
+            let rss = m.rss_mb.expect("VmRSS present on Linux");
+            let peak = m.peak_rss_mb.expect("VmHWM present on Linux");
+            assert!(rss > 0.0 && peak >= rss, "rss {rss} peak {peak}");
+        }
+        assert!(hardware_threads() >= 1);
+    }
+}

@@ -101,7 +101,8 @@ pub enum FaultKind {
 pub struct FaultPlan {
     /// Seed the plan was generated from; also seeds both hosts' RNGs.
     pub seed: u64,
-    /// Preset name (`small` / `default` / `torture` / `custom`).
+    /// Preset name (`small` / `default` / `torture` / `colossal` /
+    /// `custom`).
     pub preset: String,
     /// Initial cluster size.
     pub nodes: usize,
@@ -181,6 +182,31 @@ const TORTURE: PresetCfg = PresetCfg {
     wire_faults: false,
 };
 
+/// The scale stressor: a 100,000-node plan with sharply reduced event
+/// density (a couple of crashes and multicasts, no churn storms, joins,
+/// restarts, or wire faults) — the point is the *size* of the converged
+/// network, the shared `O(n)` directory, and the sharded event queue
+/// under six-figure actor counts, not fault coverage. Anti-entropy stays
+/// on (the digest is O(#payloads) per node per tick, affordable even
+/// here): with ~30 finger-fix rounds needed to purge a crashed node from
+/// 100,000 routing tables, a multicast tree built inside the settle
+/// window can orphan a subtree, and epidemic pull repair is what closes
+/// it — exactly the paper's resilience story. Run in release mode; the
+/// pinned seed lives in `tests/torture.rs` behind `#[ignore]` with a
+/// dedicated CI step.
+const COLOSSAL: PresetCfg = PresetCfg {
+    name: "colossal",
+    nodes: 100_000,
+    events: 6,
+    mean_gap_micros: 1_500_000.0,
+    loss_base_per_mille: 0,
+    anti_entropy: true,
+    settle_secs: 20,
+    final_wait_secs: 20,
+    weights: [30, 0, 0, 0, 0, 0, 40],
+    wire_faults: false,
+};
+
 impl FaultPlan {
     /// Small preset: 16 nodes, short schedule — the CI smoke target.
     pub fn small(seed: u64) -> FaultPlan {
@@ -199,12 +225,21 @@ impl FaultPlan {
         generate(seed, &TORTURE)
     }
 
-    /// Look up a preset constructor by name (`small`/`default`/`torture`).
+    /// Colossal preset: 100,000 nodes, crash/multicast only — the
+    /// million-node-track scale stressor (see [`COLOSSAL`]). Always
+    /// CAM-Chord with region splitting.
+    pub fn colossal(seed: u64) -> FaultPlan {
+        generate(seed, &COLOSSAL)
+    }
+
+    /// Look up a preset constructor by name
+    /// (`small`/`default`/`torture`/`colossal`).
     pub fn by_preset(name: &str, seed: u64) -> Option<FaultPlan> {
         match name {
             "small" => Some(FaultPlan::small(seed)),
             "default" => Some(FaultPlan::default_plan(seed)),
             "torture" => Some(FaultPlan::torture(seed)),
+            "colossal" => Some(FaultPlan::colossal(seed)),
             _ => None,
         }
     }
@@ -216,7 +251,6 @@ impl FaultPlan {
             .with_n(self.nodes)
             .members()
             .iter()
-            .copied()
             .collect()
     }
 
@@ -274,7 +308,8 @@ impl Model {
 
 fn generate(seed: u64, cfg: &PresetCfg) -> FaultPlan {
     let mut rng = SimRng::new(seed).split(0xCA05);
-    let protocol = if cfg.name == "torture" || seed.is_multiple_of(2) {
+    let protocol = if cfg.name == "torture" || cfg.name == "colossal" || seed.is_multiple_of(2)
+    {
         ProtocolChoice::Chord
     } else {
         ProtocolChoice::Koorde
@@ -556,6 +591,36 @@ mod tests {
         assert_eq!(FaultPlan::small(2).protocol, ProtocolChoice::Chord);
         assert_eq!(FaultPlan::small(3).protocol, ProtocolChoice::Koorde);
         assert_eq!(FaultPlan::torture(3).protocol, ProtocolChoice::Chord);
+    }
+
+    #[test]
+    fn colossal_preset_is_scale_only() {
+        let plan = FaultPlan::colossal(0xC010);
+        assert_eq!(plan.nodes, 100_000);
+        assert_eq!(plan.protocol, ProtocolChoice::Chord);
+        assert!(
+            plan.anti_entropy,
+            "colossal relies on epidemic repair: stale fingers at 100k \
+             nodes outlive the settle window"
+        );
+        // Only crashes, multicasts, and quiesces: joins/restarts would
+        // retrigger directory rebuilds and churn storms would dominate the
+        // runtime — the preset stresses scale, not the fault taxonomy.
+        for e in &plan.events {
+            assert!(
+                matches!(
+                    e.kind,
+                    FaultKind::Crash { .. } | FaultKind::Multicast | FaultKind::Quiesce
+                ),
+                "unexpected event in colossal plan: {e:?}"
+            );
+        }
+        assert_eq!(
+            plan,
+            FaultPlan::colossal(0xC010),
+            "generation deterministic"
+        );
+        assert_eq!(FaultPlan::by_preset("colossal", 1).unwrap().nodes, 100_000);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!   skipped gap `(x_{i,m}−1, k']` provably contains no member. Without
 //!   this check a message could escape its region and be delivered twice.
 
-use cam_overlay::{MemberSet, MulticastTree};
+use cam_overlay::{DeliverySink, MemberSet, MulticastTree, StreamingTreeStats, TreeStats};
 use cam_ring::math::pow_saturating;
 use cam_ring::Id;
 
@@ -164,38 +164,83 @@ pub fn multicast_tree(
     source: usize,
     selection: ChildSelection,
 ) -> MulticastTree {
+    let mut tree = MulticastTree::new(group.len(), source);
+    multicast_into(group, source, selection, &mut tree);
+    tree
+}
+
+/// Runs the full distributed `MULTICAST` from `source`, reporting every
+/// delivery to `sink` instead of returning a data structure.
+///
+/// This is the single BFS driver behind both the materialized
+/// ([`multicast_tree`]) and streaming ([`multicast_stats`]) paths.
+/// Deliveries are emitted grouped by parent (each node's children
+/// back-to-back, each node processed once) — the contract
+/// [`StreamingTreeStats`] relies on. A delivery the sink reports as
+/// duplicate (`false`) is not expanded further; the region partition makes
+/// that unreachable for CAM-Chord, and the debug assertion enforces it.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, or (via `debug_assert`) if region
+/// bookkeeping ever attempts a duplicate delivery.
+pub fn multicast_into<S: DeliverySink>(
+    group: &MemberSet,
+    source: usize,
+    selection: ChildSelection,
+    sink: &mut S,
+) {
     use std::cell::RefCell;
     use std::collections::VecDeque;
 
-    // Work queue of (member, region end) — the recursion of the paper,
-    // iteratively — plus the child-selection buffer. Thread-local so the
-    // capacity learned on one tree is reused by every later tree built on
-    // this thread (the experiment harness builds thousands per sweep).
-    type Scratch = (VecDeque<(usize, Id)>, Vec<ChildAssignment>);
+    // Work queue of (member, region end, hop distance) — the recursion of
+    // the paper, iteratively — plus the child-selection buffer.
+    // Thread-local so the capacity learned on one tree is reused by every
+    // later tree built on this thread (the experiment harness builds
+    // thousands per sweep).
+    type Scratch = (VecDeque<(usize, Id, u32)>, Vec<ChildAssignment>);
     thread_local! {
         static SCRATCH: RefCell<Scratch> =
             const { RefCell::new((VecDeque::new(), Vec::new())) };
     }
 
     let space = group.space();
-    let mut tree = MulticastTree::new(group.len(), source);
     SCRATCH.with(|scratch| {
         let (queue, picks) = &mut *scratch.borrow_mut();
         queue.clear();
-        queue.push_back((source, space.sub(group.member(source).id, 1)));
+        queue.push_back((source, space.sub(group.member(source).id, 1), 0));
 
-        while let Some((node, k)) = queue.pop_front() {
+        while let Some((node, k, hops)) = queue.pop_front() {
             select_children_into(group, node, k, selection, picks);
             for &(child, region_end) in picks.iter() {
-                let fresh = tree.deliver(node, child);
+                let fresh = sink.deliver(node, child, hops + 1);
                 debug_assert!(fresh, "duplicate delivery to member {child} — region leak");
                 if fresh {
-                    queue.push_back((child, region_end));
+                    queue.push_back((child, region_end, hops + 1));
                 }
             }
         }
     });
-    tree
+}
+
+/// Runs the multicast from `source` and streams the summary statistics,
+/// never materializing the tree: `O(depth)` extra memory per run.
+///
+/// Returns the same `(TreeStats, bottleneck kbps)` pair — bit for bit — as
+/// building [`multicast_tree`] and summarizing it; see
+/// [`cam_overlay::stream`] for the exactness argument.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn multicast_stats(
+    group: &MemberSet,
+    source: usize,
+    selection: ChildSelection,
+) -> (TreeStats, f64) {
+    let mut sink = StreamingTreeStats::new(group);
+    multicast_into(group, source, selection, &mut sink);
+    sink.finish()
 }
 
 #[cfg(test)]

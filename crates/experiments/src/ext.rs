@@ -35,7 +35,7 @@ pub fn resilience(opts: &Options) -> DataTable {
 
     let run_one = |region_split: bool, fraction: f64, seed: u64| -> (f64, f64) {
         let members = Scenario::paper_default(seed).with_n(n).members();
-        let member_vec: Vec<_> = members.iter().copied().collect();
+        let member_vec: Vec<_> = members.iter().collect();
         let latency = LatencyModel::Uniform {
             min: Duration::from_millis(20),
             max: Duration::from_millis(80),
@@ -120,7 +120,6 @@ pub fn resilience_trace(opts: &Options) -> cam_trace::RecordingTracer {
         .with_n(n)
         .members()
         .iter()
-        .copied()
         .collect();
     let latency = LatencyModel::Uniform {
         min: Duration::from_millis(20),
@@ -370,7 +369,7 @@ pub fn churn(opts: &Options) -> DataTable {
 
     let run = |region_split: bool, seed: u64| -> Vec<(f64, f64)> {
         let scenario = Scenario::paper_default(seed).with_n(n);
-        let members: Vec<_> = scenario.members().iter().copied().collect();
+        let members: Vec<_> = scenario.members().iter().collect();
         let space = cam_ring::IdSpace::PAPER;
         let latency = LatencyModel::Uniform {
             min: Duration::from_millis(20),
@@ -486,7 +485,6 @@ pub fn loss(opts: &Options) -> DataTable {
             .with_n(n)
             .members()
             .iter()
-            .copied()
             .collect();
         let latency = LatencyModel::Uniform {
             min: Duration::from_millis(20),

@@ -107,6 +107,47 @@ pub fn sample_trees<O: StaticOverlay + ?Sized>(
     aggregate(overlay, &trees)
 }
 
+/// [`sample_trees`] without materializing any tree: each source runs the
+/// overlay's [`multicast_stats`](StaticOverlay::multicast_stats) path
+/// (streaming for CAM-Chord, materialize-and-summarize for the rest) and
+/// only the `(TreeStats, throughput)` pairs travel back for aggregation.
+///
+/// The aggregate is bit-identical to [`sample_trees`] — same sources, same
+/// statistics, folded in the same order — which is what makes million-member
+/// sweeps affordable: peak memory is one tree's summary per in-flight
+/// source instead of 20 MB of flat arrays each.
+///
+/// # Panics
+///
+/// Panics if the overlay has no members.
+pub fn sample_tree_stats<O: StaticOverlay + ?Sized>(
+    overlay: &O,
+    sources: usize,
+    seed: u64,
+) -> TreeAggregator {
+    assert!(!overlay.members().is_empty(), "empty overlay");
+    let srcs = sample_distinct_sources(overlay.members().len(), sources, seed);
+    let stats: Vec<(cam_overlay::TreeStats, f64)> =
+        if overlay.members().len() >= PARALLEL_SOURCES_MIN_N && srcs.len() >= 2 {
+            parallel_sweep(srcs, |&src| overlay.multicast_stats(src))
+        } else {
+            srcs.iter()
+                .map(|&src| overlay.multicast_stats(src))
+                .collect()
+        };
+    let mut agg = TreeAggregator::new();
+    for (s, tput) in &stats {
+        debug_assert!(
+            s.delivered == s.group_size,
+            "incomplete multicast ({} of {})",
+            s.delivered,
+            s.group_size
+        );
+        agg.record_stats(s, *tput);
+    }
+    agg
+}
+
 /// [`sample_trees`] pinned to the calling thread — the reference the
 /// determinism tests compare against.
 ///
@@ -221,6 +262,19 @@ mod tests {
         assert_eq!(agg.trees(), 4);
         assert_eq!(agg.incomplete, 0);
         assert!(agg.throughput_kbps.mean() > 0.0);
+    }
+
+    /// The streaming sampler must reproduce the materialized sampler's
+    /// aggregate exactly (TreeAggregator's PartialEq is bit-level on the
+    /// f64 summaries).
+    #[test]
+    fn streaming_sampler_matches_materialized() {
+        let group = Scenario::paper_default(5).with_n(2_500).members();
+        let overlay = CamChord::new(group);
+        let materialized = sample_trees(&overlay, 4, 77);
+        let streamed = sample_tree_stats(&overlay, 4, 77);
+        assert_eq!(streamed, materialized);
+        assert_eq!(streamed.trees(), 4);
     }
 
     #[test]

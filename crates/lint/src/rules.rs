@@ -344,7 +344,15 @@ const SAFE_MAP_METHODS: &[&str] = &[
 /// Collections whose iteration order is defined, so collecting into them
 /// discharges the hash-order hazard. `RecordingTracer` qualifies: it is an
 /// append-only ring whose events replay in insertion (`seq`) order.
-const ORDERED_SINKS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap", "RecordingTracer"];
+/// `ShardedEventQueue` qualifies too: its pops come out in global
+/// `(at, seq)` order no matter how pushes were interleaved across shards.
+const ORDERED_SINKS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "RecordingTracer",
+    "ShardedEventQueue",
+];
 
 /// Re-keyed hash collections: collecting into them neither preserves nor
 /// launders order, so the hazard moves to wherever *they* are iterated.

@@ -1,0 +1,32 @@
+//! Sharded-queue fixture: the merge reaches its shards through a hash
+//! map, so ties between shard heads break in hasher order and the pop
+//! sequence differs between runs — exactly the bug the `(at, seq)` merge
+//! rule exists to prevent. Expected: two findings.
+
+use std::collections::{BinaryHeap, HashMap};
+
+pub struct Mailroom {
+    shards: HashMap<usize, BinaryHeap<u64>>,
+}
+
+impl Mailroom {
+    /// Hash-order scan: when two shard heads tie, the winner depends on
+    /// the hasher, not on the event sequence number.
+    pub fn min_shard(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (slot, heap) in &self.shards {
+            if let Some(&head) = heap.peek() {
+                if best.is_none() || head < best.unwrap().0 {
+                    best = Some((head, *slot));
+                }
+            }
+        }
+        best.map(|(_, slot)| slot)
+    }
+
+    /// Draining shard heads in hash order leaks the hasher into the
+    /// delivery sequence.
+    pub fn drain_heads(&mut self) -> Vec<u64> {
+        self.shards.values_mut().filter_map(|heap| heap.pop()).collect()
+    }
+}

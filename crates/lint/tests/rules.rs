@@ -43,6 +43,36 @@ fn determinism_fail_fixture_flags_every_leak() {
     assert!(f.iter().any(|x| x.message.contains("`Instant`")));
 }
 
+/// The sharded event-queue merge is in determinism scope: an index-order
+/// scan over `Vec` shard heads with keyed directory lookups is clean, and
+/// collecting hash-ordered entries into a `ShardedEventQueue` discharges
+/// the hazard because pops are `(at, seq)`-ordered regardless of pushes.
+#[test]
+fn shard_merge_pass_fixture_is_clean() {
+    let f = run(
+        "shard_merge_pass.rs",
+        include_str!("fixtures/shard_merge_pass.rs"),
+        &[Rule::Determinism],
+    );
+    assert!(f.is_empty(), "unexpected findings:\n{}", render(&f));
+}
+
+/// Reaching the shards through a hash map must be flagged twice: the
+/// direct `for` scan of the shard table and the `.values_mut()` drain
+/// both let the hasher pick the pop sequence.
+#[test]
+fn shard_merge_fail_fixture_flags_hash_order_merge() {
+    let f = run(
+        "shard_merge_fail.rs",
+        include_str!("fixtures/shard_merge_fail.rs"),
+        &[Rule::Determinism],
+    );
+    assert_eq!(f.len(), 2, "findings:\n{}", render(&f));
+    assert!(f.iter().all(|x| x.rule == Rule::Determinism));
+    assert!(f.iter().any(|x| x.message.contains("`for` loop")));
+    assert!(f.iter().any(|x| x.message.contains("`.values_mut()`")));
+}
+
 /// The chaos fault generator is in determinism scope: a seed-derived RNG
 /// over ordered tables is clean.
 #[test]

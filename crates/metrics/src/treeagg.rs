@@ -5,7 +5,7 @@
 //! (plus the bottleneck throughput computed against the member set) into
 //! the quantities each figure plots.
 
-use cam_overlay::{MemberSet, MulticastTree};
+use cam_overlay::{MemberSet, MulticastTree, TreeStats};
 
 use crate::{Histogram, Summary};
 
@@ -43,7 +43,15 @@ impl TreeAggregator {
     ///
     /// Panics if `group` size differs from the tree's.
     pub fn record(&mut self, group: &MemberSet, tree: &MulticastTree) {
-        let stats = tree.stats();
+        self.record_stats(&tree.stats(), tree.bottleneck_throughput_kbps(group));
+    }
+
+    /// Folds pre-computed tree statistics into the aggregate — the entry
+    /// point for the streaming path, which never materializes a
+    /// [`MulticastTree`]. [`record`](Self::record) is exactly this applied
+    /// to `(tree.stats(), tree.bottleneck_throughput_kbps(group))`, so the
+    /// two paths aggregate bit-identically.
+    pub fn record_stats(&mut self, stats: &TreeStats, throughput_kbps: f64) {
         for (hops, &n) in stats.path_len_histogram.iter().enumerate() {
             if hops > 0 {
                 // hop 0 is the source itself; the paper plots receivers.
@@ -53,11 +61,10 @@ impl TreeAggregator {
         self.avg_path_len.record(stats.avg_path_len);
         self.avg_children.record(stats.avg_children_per_internal);
         self.depth.record(f64::from(stats.depth));
-        let tput = tree.bottleneck_throughput_kbps(group);
-        if tput.is_finite() {
-            self.throughput_kbps.record(tput);
+        if throughput_kbps.is_finite() {
+            self.throughput_kbps.record(throughput_kbps);
         }
-        if !tree.is_complete() {
+        if stats.delivered < stats.group_size {
             self.incomplete += 1;
         }
     }

@@ -270,7 +270,11 @@ pub struct DhtActor<P: DhtProtocol> {
     delivered_data: HashMap<u64, bytes::Bytes>,
     /// Directory mapping member ids to actor ids (set by the harness; in a
     /// deployment this is the address book piggybacked on every message).
-    directory: HashMap<u64, ActorId>,
+    /// Shared (`Arc`) across all actors of a network: at colossal scale a
+    /// per-actor copy would be `O(n²)` memory, which is exactly what the
+    /// 100k-node chaos preset must avoid. Copy-on-write on the rare
+    /// per-actor mutation.
+    directory: std::sync::Arc<HashMap<u64, ActorId>>,
     /// Outstanding lookup requests this node initiated: req_id → purpose.
     pending: HashMap<u64, PendingLookup>,
     /// Liveness probes in flight: req_id → (finger target, probed member).
@@ -330,7 +334,7 @@ impl<P: DhtProtocol> DhtActor<P> {
             predecessor: None,
             seen_payloads: HashMap::new(),
             delivered_data: HashMap::new(),
-            directory: HashMap::new(),
+            directory: std::sync::Arc::new(HashMap::new()),
             pending: HashMap::new(),
             pending_pings: HashMap::new(),
             ping_strikes: HashMap::new(),
@@ -401,13 +405,25 @@ impl<P: DhtProtocol> DhtActor<P> {
     }
 
     /// Installs the id → actor directory (harness responsibility).
-    pub fn set_directory(&mut self, directory: HashMap<u64, ActorId>) {
-        self.directory = directory;
+    ///
+    /// Accepts either an owned map or an [`Arc`](std::sync::Arc)-shared
+    /// one; the harness shares a single allocation across the whole
+    /// network so that directories cost `O(n)` total, not `O(n²)`.
+    pub fn set_directory(
+        &mut self,
+        directory: impl Into<std::sync::Arc<HashMap<u64, ActorId>>>,
+    ) {
+        self.directory = directory.into();
     }
 
     /// Adds one directory entry (e.g. for a recently joined node).
+    ///
+    /// Copy-on-write: if the directory is currently shared with other
+    /// actors, this actor gets a private copy first. Harness-wide updates
+    /// should instead rebuild once and re-share via
+    /// [`set_directory`](Self::set_directory).
     pub fn add_directory_entry(&mut self, id: Id, actor: ActorId) {
-        self.directory.insert(id.value(), actor);
+        std::sync::Arc::make_mut(&mut self.directory).insert(id.value(), actor);
     }
 
     /// How many multicast payloads this node has received.
@@ -1116,8 +1132,10 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
             let id = sim.add_actor(actor);
             actors.push((*m, id));
         }
-        let directory: HashMap<u64, ActorId> =
-            actors.iter().map(|(m, a)| (m.id.value(), *a)).collect();
+        // One shared allocation for every actor's address book — the
+        // per-actor clone this replaces made 100k-node networks `O(n²)`.
+        let directory: std::sync::Arc<HashMap<u64, ActorId>> =
+            std::sync::Arc::new(actors.iter().map(|(m, a)| (m.id.value(), *a)).collect());
 
         // Oracle resolution of every node's pointers.
         let ids: Vec<Id> = sorted.iter().map(|m| m.id).collect();
@@ -1135,7 +1153,7 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
                 targets.iter().map(|&t| (t, owner_of(t))).collect();
             let a = sim.actor_mut(*actor_id).expect("just added");
             a.seed_state(succs, pred, fingers);
-            a.set_directory(directory.clone());
+            a.set_directory(std::sync::Arc::clone(&directory));
         }
         for (i, (_, actor_id)) in actors.iter().enumerate() {
             DhtActor::start_maintenance(&mut sim, *actor_id, i as u64 * 37);
@@ -1208,27 +1226,13 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
             .iter()
             .map(|(_, a)| *a)
             .find(|a| self.sim.is_alive(*a))?;
-        let mut actor = DhtActor::new(self.space, member, protocol);
-        // Full address book for the newcomer…
-        let directory: HashMap<u64, ActorId> = self
-            .actors
-            .iter()
-            .map(|(m, a)| (m.id.value(), *a))
-            .collect();
-        actor.set_directory(directory);
+        let actor = DhtActor::new(self.space, member, protocol);
         let new_id = self.sim.add_actor(actor);
-        self.sim
-            .actor_mut(new_id)
-            .expect("just added")
-            .add_directory_entry(member.id, new_id);
-        // …and the newcomer's address for everybody else.
-        let pairs: Vec<ActorId> = self.actors.iter().map(|(_, a)| *a).collect();
-        for a in pairs {
-            if let Some(existing) = self.sim.actor_mut(a) {
-                existing.add_directory_entry(member.id, new_id);
-            }
-        }
         self.actors.push((member, new_id));
+        // Rebuild the authoritative address book once and re-share it with
+        // every actor (newcomer included): one O(n) allocation instead of
+        // n copy-on-write clones.
+        self.reshare_directory();
         self.sim.post(
             new_id,
             bootstrap,
@@ -1255,25 +1259,12 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
         if self.sim.is_alive(old) {
             return None;
         }
-        let mut actor = DhtActor::new(self.space, member, protocol);
-        let directory: HashMap<u64, ActorId> = self
-            .actors
-            .iter()
-            .map(|(m, a)| (m.id.value(), *a))
-            .collect();
-        actor.set_directory(directory);
+        let actor = DhtActor::new(self.space, member, protocol);
         let new_id = self.sim.add_actor(actor);
-        self.sim
-            .actor_mut(new_id)
-            .expect("just added")
-            .add_directory_entry(member.id, new_id);
-        let pairs: Vec<ActorId> = self.actors.iter().map(|(_, a)| *a).collect();
-        for a in pairs {
-            if let Some(existing) = self.sim.actor_mut(a) {
-                existing.add_directory_entry(member.id, new_id);
-            }
-        }
         self.actors[pos].1 = new_id;
+        // Repoint the member's entry at the new incarnation everywhere by
+        // rebuilding the shared book from the (updated) authoritative list.
+        self.reshare_directory();
         let at = self.sim.now().micros();
         self.sim
             .tracer_mut()
@@ -1289,6 +1280,22 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
             );
         }
         Some(new_id)
+    }
+
+    /// Rebuilds the id → actor directory from `self.actors` and installs
+    /// the single shared allocation on every live actor.
+    fn reshare_directory(&mut self) {
+        let directory: std::sync::Arc<HashMap<u64, ActorId>> = std::sync::Arc::new(
+            self.actors
+                .iter()
+                .map(|(m, a)| (m.id.value(), *a))
+                .collect(),
+        );
+        for &(_, a) in &self.actors {
+            if let Some(actor) = self.sim.actor_mut(a) {
+                actor.set_directory(std::sync::Arc::clone(&directory));
+            }
+        }
     }
 
     /// The first live, joined actor other than `exclude` — the bootstrap

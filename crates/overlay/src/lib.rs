@@ -29,10 +29,12 @@
 pub mod dynamic;
 pub mod lookup;
 pub mod peer;
+pub mod stream;
 pub mod tree;
 
 pub use lookup::LookupResult;
-pub use peer::{Member, MemberSet};
+pub use peer::{Member, MemberSet, Members};
+pub use stream::{DeliverySink, StreamingTreeStats};
 pub use tree::{MulticastTree, TreeStats};
 
 use cam_ring::Id;
@@ -59,6 +61,21 @@ pub trait StaticOverlay: Send + Sync {
     /// Runs the protocol's multicast routine from member index `source`,
     /// returning the implicit dissemination tree.
     fn multicast_tree(&self, source: usize) -> MulticastTree;
+
+    /// Runs the multicast from `source` and returns only the summary
+    /// statistics plus the bottleneck throughput in kbps.
+    ///
+    /// The default materializes the tree and summarizes it; protocols with
+    /// a streaming driver (CAM-Chord) override this to compute the same
+    /// numbers in `O(depth)` memory via [`StreamingTreeStats`]. Overrides
+    /// must stay **bit-identical** to this default — the sweep harness
+    /// treats the two paths as interchangeable, and the parity tests
+    /// compare them exactly.
+    fn multicast_stats(&self, source: usize) -> (TreeStats, f64) {
+        let tree = self.multicast_tree(source);
+        let throughput = tree.bottleneck_throughput_kbps(self.members());
+        (tree.stats(), throughput)
+    }
 
     /// Number of distinct overlay neighbors (routing-table entries) of a
     /// member — the maintenance cost the paper compares in Section 2.

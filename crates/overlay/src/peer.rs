@@ -80,6 +80,18 @@ impl std::error::Error for BuildMemberSetError {}
 /// neighbor tables: *owner* (the paper's `x̂` — the node responsible for an
 /// identifier), *successor*, and *predecessor*.
 ///
+/// # Memory layout (struct of arrays)
+///
+/// Members are stored as three parallel columns — `ids: Vec<u64>`,
+/// `capacities: Vec<u32>`, `upload_kbps: Vec<f64>` — instead of one
+/// `Vec<Member>`. Every resolution query touches *only* the identifier
+/// column, so at n = 1M the hot working set is 8 MB of sorted `u64`s
+/// rather than 24 MB of interleaved structs, and a bucket-index scan never
+/// pulls capacities or bandwidths into cache. [`MemberSet::member`]
+/// reassembles a [`Member`] by value (it is `Copy`) for callers that want
+/// the row view; [`MemberSet::id_at`], [`MemberSet::capacity_at`] and
+/// [`MemberSet::upload_kbps_at`] read single columns on hot paths.
+///
 /// Resolution is `O(1)` expected time: construction precomputes a bucket
 /// index that maps the high bits of an identifier to the first member at or
 /// past that bucket's start, so a query is one table lookup plus a short
@@ -113,7 +125,12 @@ impl std::error::Error for BuildMemberSetError {}
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemberSet {
     space: IdSpace,
-    members: Vec<Member>,
+    /// Sorted member identifiers — the only column resolution touches.
+    ids: Vec<u64>,
+    /// `capacities[i]` is the capacity of the member at `ids[i]`.
+    capacities: Vec<u32>,
+    /// `upload_kbps[i]` is the upload bandwidth of the member at `ids[i]`.
+    upload_kbps: Vec<f64>,
     /// `buckets[b]` is the index of the first member whose identifier is
     /// `≥ b << bucket_shift`; a trailing sentinel entry equals `len()`.
     buckets: Vec<u32>,
@@ -150,12 +167,33 @@ impl MemberSet {
     }
 
     /// Builds the group plus its bucket index from already-sorted,
-    /// already-validated members.
+    /// already-validated members, splitting the rows into columns.
     fn from_sorted(space: IdSpace, members: Vec<Member>) -> MemberSet {
-        let (buckets, bucket_shift) = Self::build_bucket_index(space, &members);
+        let n = members.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut capacities = Vec::with_capacity(n);
+        let mut upload_kbps = Vec::with_capacity(n);
+        for m in members {
+            ids.push(m.id.value());
+            capacities.push(m.capacity);
+            upload_kbps.push(m.upload_kbps);
+        }
+        MemberSet::from_columns(space, ids, capacities, upload_kbps)
+    }
+
+    /// Assembles a group from already-sorted, already-validated columns.
+    fn from_columns(
+        space: IdSpace,
+        ids: Vec<u64>,
+        capacities: Vec<u32>,
+        upload_kbps: Vec<f64>,
+    ) -> MemberSet {
+        let (buckets, bucket_shift) = Self::build_bucket_index(space, &ids);
         MemberSet {
             space,
-            members,
+            ids,
+            capacities,
+            upload_kbps,
             buckets,
             bucket_shift,
         }
@@ -164,8 +202,8 @@ impl MemberSet {
     /// Computes the bucket index: one bucket per `2^shift`-wide identifier
     /// span, at least as many buckets as members, so a resolution query
     /// scans at most the (expected ≤ 1) members sharing the key's bucket.
-    fn build_bucket_index(space: IdSpace, members: &[Member]) -> (Vec<u32>, u32) {
-        let n = members.len();
+    fn build_bucket_index(space: IdSpace, ids: &[u64]) -> (Vec<u32>, u32) {
+        let n = ids.len();
         // n ≤ space.size() because identifiers are unique, so the rounded-up
         // power of two never exceeds 2^bits and the shift never underflows.
         let bucket_count = n.next_power_of_two();
@@ -174,7 +212,7 @@ impl MemberSet {
         let mut i = 0usize;
         for b in 0..bucket_count as u64 {
             let start = b << shift;
-            while i < n && members[i].id.value() < start {
+            while i < n && ids[i] < start {
                 i += 1;
             }
             buckets.push(i as u32);
@@ -192,36 +230,77 @@ impl MemberSet {
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
-        self.members.len()
+        self.ids.len()
     }
 
     /// Whether the group is empty (never true: construction rejects it).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.members.is_empty()
+        self.ids.is_empty()
     }
 
-    /// The member at `idx` (members are sorted by identifier).
+    /// The member at `idx`, assembled by value from the columns (members
+    /// are sorted by identifier; `Member` is `Copy`).
     ///
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
     #[inline]
-    pub fn member(&self, idx: usize) -> &Member {
-        &self.members[idx]
+    pub fn member(&self, idx: usize) -> Member {
+        Member {
+            id: Id(self.ids[idx]),
+            capacity: self.capacities[idx],
+            upload_kbps: self.upload_kbps[idx],
+        }
     }
 
-    /// Iterates over members in ring order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Member> {
-        self.members.iter()
+    /// The identifier of the member at `idx` (single-column read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn id_at(&self, idx: usize) -> Id {
+        Id(self.ids[idx])
     }
 
-    /// First member index `i` with `members[i].id ≥ k` (i.e. the
-    /// partition point of `id < k`), via the bucket index: `O(1)` expected.
+    /// The capacity of the member at `idx` (single-column read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn capacity_at(&self, idx: usize) -> u32 {
+        self.capacities[idx]
+    }
+
+    /// The upload bandwidth (kbps) of the member at `idx` (single-column
+    /// read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn upload_kbps_at(&self, idx: usize) -> f64 {
+        self.upload_kbps[idx]
+    }
+
+    /// Iterates over members in ring order, yielding [`Member`] by value.
+    pub fn iter(&self) -> Members<'_> {
+        Members {
+            set: self,
+            front: 0,
+            back: self.len(),
+        }
+    }
+
+    /// First member index `i` with `ids[i] ≥ k` (i.e. the partition point
+    /// of `id < k`), via the bucket index: `O(1)` expected.
     #[inline]
     fn lower_bound(&self, k: Id) -> usize {
-        let mut i = self.buckets[(k.value() >> self.bucket_shift) as usize] as usize;
-        while i < self.members.len() && self.members[i].id < k {
+        let k = k.value();
+        let mut i = self.buckets[(k >> self.bucket_shift) as usize] as usize;
+        while i < self.ids.len() && self.ids[i] < k {
             i += 1;
         }
         i
@@ -232,7 +311,7 @@ impl MemberSet {
     #[inline]
     pub fn owner_idx(&self, k: Id) -> usize {
         let i = self.lower_bound(k);
-        if i == self.members.len() {
+        if i == self.ids.len() {
             0
         } else {
             i
@@ -244,10 +323,10 @@ impl MemberSet {
     #[inline]
     pub fn successor_idx(&self, k: Id) -> usize {
         let mut i = self.lower_bound(k);
-        if i < self.members.len() && self.members[i].id == k {
+        if i < self.ids.len() && self.ids[i] == k.value() {
             i += 1;
         }
-        if i == self.members.len() {
+        if i == self.ids.len() {
             0
         } else {
             i
@@ -260,7 +339,7 @@ impl MemberSet {
     pub fn predecessor_idx(&self, k: Id) -> usize {
         let i = self.lower_bound(k);
         if i == 0 {
-            self.members.len() - 1
+            self.ids.len() - 1
         } else {
             i - 1
         }
@@ -269,8 +348,8 @@ impl MemberSet {
     /// [`owner_idx`](Self::owner_idx) by `O(log n)` binary search, without
     /// the bucket index. Reference implementation for tests and benches.
     pub fn owner_idx_binsearch(&self, k: Id) -> usize {
-        let i = self.members.partition_point(|m| m.id < k);
-        if i == self.members.len() {
+        let i = self.ids.partition_point(|&id| id < k.value());
+        if i == self.ids.len() {
             0
         } else {
             i
@@ -279,8 +358,8 @@ impl MemberSet {
 
     /// [`successor_idx`](Self::successor_idx) by `O(log n)` binary search.
     pub fn successor_idx_binsearch(&self, k: Id) -> usize {
-        let i = self.members.partition_point(|m| m.id <= k);
-        if i == self.members.len() {
+        let i = self.ids.partition_point(|&id| id <= k.value());
+        if i == self.ids.len() {
             0
         } else {
             i
@@ -290,9 +369,9 @@ impl MemberSet {
     /// [`predecessor_idx`](Self::predecessor_idx) by `O(log n)` binary
     /// search.
     pub fn predecessor_idx_binsearch(&self, k: Id) -> usize {
-        let i = self.members.partition_point(|m| m.id < k);
+        let i = self.ids.partition_point(|&id| id < k.value());
         if i == 0 {
-            self.members.len() - 1
+            self.ids.len() - 1
         } else {
             i - 1
         }
@@ -300,19 +379,19 @@ impl MemberSet {
 
     /// Index of the member with exactly identifier `id`, if present.
     pub fn index_of(&self, id: Id) -> Option<usize> {
-        self.members.binary_search_by_key(&id, |m| m.id).ok()
+        self.ids.binary_search(&id.value()).ok()
     }
 
     /// The next member clockwise after the member at `idx`.
     #[inline]
     pub fn next_idx(&self, idx: usize) -> usize {
-        (idx + 1) % self.members.len()
+        (idx + 1) % self.ids.len()
     }
 
     /// The previous member counter-clockwise before the member at `idx`.
     #[inline]
     pub fn prev_idx(&self, idx: usize) -> usize {
-        (idx + self.members.len() - 1) % self.members.len()
+        (idx + self.ids.len() - 1) % self.ids.len()
     }
 
     /// A new group with `member` added (the receiver is unchanged).
@@ -331,12 +410,21 @@ impl MemberSet {
                 member.capacity,
             ));
         }
-        match self.members.binary_search_by_key(&member.id, |m| m.id) {
+        match self.ids.binary_search(&member.id.value()) {
             Ok(_) => Err(BuildMemberSetError::DuplicateId(member.id)),
             Err(pos) => {
-                let mut members = self.members.clone();
-                members.insert(pos, member);
-                Ok(MemberSet::from_sorted(self.space, members))
+                let mut ids = self.ids.clone();
+                let mut capacities = self.capacities.clone();
+                let mut upload_kbps = self.upload_kbps.clone();
+                ids.insert(pos, member.id.value());
+                capacities.insert(pos, member.capacity);
+                upload_kbps.insert(pos, member.upload_kbps);
+                Ok(MemberSet::from_columns(
+                    self.space,
+                    ids,
+                    capacities,
+                    upload_kbps,
+                ))
             }
         }
     }
@@ -344,26 +432,78 @@ impl MemberSet {
     /// A new group with the member at identifier `id` removed, or `None`
     /// if absent or if removal would empty the group.
     pub fn removed(&self, id: Id) -> Option<MemberSet> {
-        if self.members.len() <= 1 {
+        if self.ids.len() <= 1 {
             return None;
         }
-        let pos = self.members.binary_search_by_key(&id, |m| m.id).ok()?;
-        let mut members = self.members.clone();
-        members.remove(pos);
-        Some(MemberSet::from_sorted(self.space, members))
+        let pos = self.ids.binary_search(&id.value()).ok()?;
+        let mut ids = self.ids.clone();
+        let mut capacities = self.capacities.clone();
+        let mut upload_kbps = self.upload_kbps.clone();
+        ids.remove(pos);
+        capacities.remove(pos);
+        upload_kbps.remove(pos);
+        Some(MemberSet::from_columns(
+            self.space,
+            ids,
+            capacities,
+            upload_kbps,
+        ))
     }
 
     /// Mean declared capacity of the group.
     pub fn mean_capacity(&self) -> f64 {
-        self.members.iter().map(|m| m.capacity as f64).sum::<f64>() / self.members.len() as f64
+        self.capacities.iter().map(|&c| c as f64).sum::<f64>() / self.capacities.len() as f64
     }
 }
 
+/// Iterator over a [`MemberSet`] in ring order, yielding [`Member`] by
+/// value (assembled from the columns; `Member` is `Copy`, so this is the
+/// same cost as the former `.iter().copied()`).
+#[derive(Debug, Clone)]
+pub struct Members<'a> {
+    set: &'a MemberSet,
+    front: usize,
+    back: usize,
+}
+
+impl Iterator for Members<'_> {
+    type Item = Member;
+
+    #[inline]
+    fn next(&mut self) -> Option<Member> {
+        if self.front == self.back {
+            return None;
+        }
+        let m = self.set.member(self.front);
+        self.front += 1;
+        Some(m)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.back - self.front;
+        (rem, Some(rem))
+    }
+}
+
+impl DoubleEndedIterator for Members<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Member> {
+        if self.front == self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.set.member(self.back))
+    }
+}
+
+impl ExactSizeIterator for Members<'_> {}
+
 impl<'a> IntoIterator for &'a MemberSet {
-    type Item = &'a Member;
-    type IntoIter = std::slice::Iter<'a, Member>;
+    type Item = Member;
+    type IntoIter = Members<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.members.iter()
+        self.iter()
     }
 }
 
@@ -468,6 +608,30 @@ mod tests {
         assert_eq!(g.index_of(Id(21)), Some(5));
         assert_eq!(g.index_of(Id(22)), None);
         assert!((g.mean_capacity() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_accessors_match_member_view() {
+        let g = fig2_group();
+        for i in 0..g.len() {
+            let m = g.member(i);
+            assert_eq!(g.id_at(i), m.id);
+            assert_eq!(g.capacity_at(i), m.capacity);
+            assert_eq!(g.upload_kbps_at(i), m.upload_kbps);
+        }
+    }
+
+    #[test]
+    fn iterator_is_exact_and_double_ended() {
+        let g = fig2_group();
+        assert_eq!(g.iter().len(), 8);
+        let fwd: Vec<u64> = g.iter().map(|m| m.id.value()).collect();
+        let mut rev: Vec<u64> = g.iter().rev().map(|m| m.id.value()).collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        // IntoIterator for &MemberSet yields the same sequence.
+        let via_ref: Vec<u64> = (&g).into_iter().map(|m| m.id.value()).collect();
+        assert_eq!(fwd, via_ref);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Streaming tree statistics: fold a multicast run into [`TreeStats`]
+//! without materializing the tree.
+//!
+//! At the paper's scale (100k members) a [`MulticastTree`] is cheap; at a
+//! million members its flat arrays (parent, hops, fanout, delivery log) cost
+//! ~20 MB *per tree* and force a second full pass to extract statistics.
+//! The sweep harness only ever needs the [`TreeStats`] summary plus the
+//! bottleneck throughput, so the multicast drivers are generic over a
+//! [`DeliverySink`]: the materialized tree is one sink, and
+//! [`StreamingTreeStats`] is another that accumulates the same numbers in
+//! `O(depth)` memory during the traversal itself.
+//!
+//! # Exactness
+//!
+//! Streaming results are **bit-identical** to `tree.stats()` +
+//! `tree.bottleneck_throughput_kbps(group)`, not merely close:
+//!
+//! * counts, hop totals, and the histogram are integer accumulators, so
+//!   accumulation order cannot matter;
+//! * the two `f64` averages are single divisions of those exact integers;
+//! * the bottleneck is a running `min` over finite positive `f64` ratios,
+//!   and `min` is order-independent.
+//!
+//! The parity tests (`cam-core` unit tests and the workspace proptests)
+//! hold both sinks to exact equality on identical runs.
+//!
+//! # Sink contract
+//!
+//! [`StreamingTreeStats`] assumes deliveries arrive **grouped by parent**:
+//! all of a node's children are reported consecutively, and a node's run of
+//! deliveries appears at most once. Both workspace drivers (the CAM-Chord
+//! region partition and the CAM-Koorde flood) process each node exactly
+//! once and emit its children back-to-back, so the assumption holds by
+//! construction; fanout is then recovered by run-length counting instead of
+//! an `O(n)` per-member array. [`MulticastTree`] has no such requirement.
+
+use crate::tree::TreeStats;
+use crate::{MemberSet, MulticastTree};
+
+/// A consumer of multicast delivery events, fed by the tree drivers.
+///
+/// `hops` is the child's distance from the source (parent's distance + 1).
+/// Returning `false` reports that `child` had already received the message;
+/// the driver must not forward through it again. Sinks that cannot detect
+/// duplicates (e.g. [`StreamingTreeStats`]) always return `true` and rely
+/// on the driver's exactly-once guarantee.
+pub trait DeliverySink {
+    /// Records that `parent` forwarded the message to `child` at hop
+    /// distance `hops`. Returns `false` iff the delivery was a duplicate.
+    fn deliver(&mut self, parent: usize, child: usize, hops: u32) -> bool;
+}
+
+impl DeliverySink for MulticastTree {
+    fn deliver(&mut self, parent: usize, child: usize, hops: u32) -> bool {
+        let fresh = MulticastTree::deliver(self, parent, child);
+        debug_assert!(
+            !fresh || self.hops_to(child) == Some(hops),
+            "driver hop count diverged from tree bookkeeping"
+        );
+        fresh
+    }
+}
+
+/// Sentinel parent index for "no run open yet".
+const NO_RUN: usize = usize::MAX;
+
+/// A [`DeliverySink`] that computes [`TreeStats`] and the bottleneck
+/// throughput on the fly, holding only the hop histogram and the current
+/// parent run — `O(depth)` memory instead of the tree's `O(n)`.
+///
+/// See the [module docs](self) for the exactness argument and the
+/// grouped-by-parent contract.
+#[derive(Debug, Clone)]
+pub struct StreamingTreeStats<'a> {
+    group: &'a MemberSet,
+    delivered: usize,
+    total_hops: u64,
+    depth: u32,
+    /// `hist[h]` = members at hop distance `h`; starts as `[1]` (the source).
+    hist: Vec<u64>,
+    /// Parent of the delivery run currently being counted, or [`NO_RUN`].
+    run_parent: usize,
+    run_len: u32,
+    internal_nodes: usize,
+    total_children: u64,
+    max_fanout: usize,
+    /// Running `min(upload_kbps / fanout)` over closed runs.
+    min_ratio: f64,
+}
+
+impl<'a> StreamingTreeStats<'a> {
+    /// Starts a streaming accumulation for one multicast over `group`.
+    pub fn new(group: &'a MemberSet) -> Self {
+        StreamingTreeStats {
+            group,
+            delivered: 1,
+            total_hops: 0,
+            depth: 0,
+            hist: vec![1],
+            run_parent: NO_RUN,
+            run_len: 0,
+            internal_nodes: 0,
+            total_children: 0,
+            max_fanout: 0,
+            min_ratio: f64::INFINITY,
+        }
+    }
+
+    /// Folds the finished run of `run_parent` into the internal-node
+    /// aggregates — mirrors one `fanout > 0` member of the materialized
+    /// `stats()` / `bottleneck_throughput_kbps` loops.
+    fn close_run(&mut self) {
+        if self.run_parent != NO_RUN && self.run_len > 0 {
+            self.internal_nodes += 1;
+            self.total_children += u64::from(self.run_len);
+            self.max_fanout = self.max_fanout.max(self.run_len as usize);
+            let ratio = self.group.upload_kbps_at(self.run_parent) / f64::from(self.run_len);
+            self.min_ratio = self.min_ratio.min(ratio);
+        }
+        self.run_len = 0;
+    }
+
+    /// Finishes the accumulation, returning the summary statistics and the
+    /// bottleneck throughput in kbps (`f64::INFINITY` for a leaf-only run,
+    /// exactly like `bottleneck_throughput_kbps` on a single-member tree).
+    pub fn finish(mut self) -> (TreeStats, f64) {
+        self.close_run();
+        let stats = TreeStats {
+            delivered: self.delivered,
+            group_size: self.group.len(),
+            depth: self.depth,
+            avg_path_len: if self.delivered > 1 {
+                self.total_hops as f64 / (self.delivered - 1) as f64
+            } else {
+                0.0
+            },
+            path_len_histogram: self.hist,
+            internal_nodes: self.internal_nodes,
+            avg_children_per_internal: if self.internal_nodes == 0 {
+                0.0
+            } else {
+                self.total_children as f64 / self.internal_nodes as f64
+            },
+            max_fanout: self.max_fanout,
+        };
+        (stats, self.min_ratio)
+    }
+}
+
+impl DeliverySink for StreamingTreeStats<'_> {
+    fn deliver(&mut self, parent: usize, child: usize, hops: u32) -> bool {
+        debug_assert!(parent < self.group.len() && child < self.group.len());
+        if parent != self.run_parent {
+            self.close_run();
+            self.run_parent = parent;
+        }
+        self.run_len += 1;
+        if self.hist.len() <= hops as usize {
+            self.hist.resize(hops as usize + 1, 0);
+        }
+        self.hist[hops as usize] += 1;
+        self.total_hops += u64::from(hops);
+        self.depth = self.depth.max(hops);
+        self.delivered += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Member;
+    use cam_ring::{Id, IdSpace};
+
+    fn group(n: usize) -> MemberSet {
+        MemberSet::new(
+            IdSpace::new(10),
+            (0..n)
+                .map(|i| Member {
+                    id: Id(i as u64 * 7 + 1),
+                    capacity: 3,
+                    upload_kbps: 400.0 + i as f64 * 50.0,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Replays the same delivery sequence into both sinks and demands exact
+    /// equality of every statistic, f64 bits included.
+    #[test]
+    fn streaming_matches_materialized_exactly() {
+        let g = group(6);
+        // 0 → {1, 2, 3}; 1 → {4}; 4 → {5}: depth 3, mixed fanouts.
+        let edges: [(usize, usize, u32); 5] =
+            [(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 4, 2), (4, 5, 3)];
+        let mut tree = MulticastTree::new(6, 0);
+        let mut streaming = StreamingTreeStats::new(&g);
+        for &(p, c, h) in &edges {
+            assert!(DeliverySink::deliver(&mut tree, p, c, h));
+            assert!(streaming.deliver(p, c, h));
+        }
+        let (stats, tput) = streaming.finish();
+        assert_eq!(stats, tree.stats());
+        assert_eq!(
+            tput.to_bits(),
+            tree.bottleneck_throughput_kbps(&g).to_bits()
+        );
+    }
+
+    #[test]
+    fn leaf_only_run_reports_infinite_throughput() {
+        let g = group(3);
+        let (stats, tput) = StreamingTreeStats::new(&g).finish();
+        assert_eq!(stats, MulticastTree::new(3, 0).stats());
+        assert_eq!(tput, f64::INFINITY);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.path_len_histogram, vec![1]);
+    }
+
+    #[test]
+    fn tree_sink_suppresses_duplicates() {
+        let mut tree = MulticastTree::new(3, 0);
+        assert!(DeliverySink::deliver(&mut tree, 0, 1, 1));
+        assert!(!DeliverySink::deliver(&mut tree, 0, 1, 1));
+        assert_eq!(tree.delivered(), 2);
+    }
+}

@@ -10,13 +10,13 @@
 //! The engine is single-threaded and deterministic: events with equal
 //! timestamps are delivered in the order they were scheduled.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 
 use cam_trace::{EventKind, NopTracer, Tracer};
 
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
+use crate::shard::{EventKey, ShardedEventQueue, DEFAULT_EVENT_SHARDS};
 use crate::time::{Duration, SimTime};
 
 /// Identifies an actor within a [`Simulation`].
@@ -165,7 +165,10 @@ impl<'a, M> Context<'a, M> {
 /// See the [crate-level documentation](crate) for an example.
 pub struct Simulation<A: Actor> {
     actors: Vec<Option<A>>,
-    queue: BinaryHeap<Reverse<HeapKey>>,
+    /// Pending events, sharded by destination actor. The merge rule
+    /// (`(at, seq)` with a globally unique `seq`; see [`crate::shard`])
+    /// makes delivery order bit-identical for every shard count.
+    queue: ShardedEventQueue,
     events: Vec<Option<Event<A::Msg>>>,
     free_slots: Vec<usize>,
     now: SimTime,
@@ -188,19 +191,24 @@ pub struct Simulation<A: Actor> {
     tracer: Box<dyn Tracer>,
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct HeapKey {
-    at: SimTime,
-    seq: u64,
-    slot: usize,
-}
-
 impl<A: Actor> Simulation<A> {
-    /// Creates an empty simulation with the given seed and latency model.
+    /// Creates an empty simulation with the given seed and latency model,
+    /// using [`DEFAULT_EVENT_SHARDS`] queue shards.
     pub fn new(seed: u64, latency: LatencyModel) -> Self {
+        Simulation::with_shards(seed, latency, DEFAULT_EVENT_SHARDS)
+    }
+
+    /// [`Simulation::new`] with an explicit event-queue shard count.
+    ///
+    /// `shards = 1` is the classic single-heap engine; any other count
+    /// delivers the *same events in the same order* (the queue's merge rule
+    /// is shard-count-independent — see [`crate::shard`]), so this knob
+    /// trades queue-arena locality against merge-scan width without ever
+    /// changing results.
+    pub fn with_shards(seed: u64, latency: LatencyModel, shards: usize) -> Self {
         Simulation {
             actors: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: ShardedEventQueue::new(shards),
             events: Vec::new(),
             free_slots: Vec::new(),
             now: SimTime::ZERO,
@@ -378,7 +386,12 @@ impl<A: Actor> Simulation<A> {
                 self.events.len() - 1
             }
         };
-        self.queue.push(Reverse(HeapKey { at, seq, slot }));
+        self.queue.push(to.0, EventKey { at, seq, slot });
+    }
+
+    /// Number of event-queue shards (see [`Simulation::with_shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.queue.shard_count()
     }
 
     /// Processes events until the queue is empty or `deadline` is passed.
@@ -401,13 +414,13 @@ impl<A: Actor> Simulation<A> {
         let mut outbox: Vec<(ActorId, ActorId, A::Msg, Option<Duration>)> = Vec::new();
         let mut timers: Vec<(ActorId, Duration, u64)> = Vec::new();
 
-        while let Some(Reverse(key)) = self.queue.peek() {
+        while let Some(key) = self.queue.peek() {
             if let Some(d) = deadline {
                 if key.at > d {
                     break;
                 }
             }
-            let Reverse(key) = self.queue.pop().expect("peeked");
+            let key = self.queue.pop().expect("peeked");
             let ev = self.events[key.slot].take().expect("event slot occupied");
             self.free_slots.push(key.slot);
             debug_assert!(ev.at >= self.now, "event from the past");
@@ -606,6 +619,43 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).0, run(43).0, "different seeds, different delays");
+    }
+
+    /// The sharded queue's acceptance bar: for a lossy, jittery workload,
+    /// every shard count must reproduce the single-heap run bit for bit —
+    /// same final clock, same counters, same per-actor state.
+    #[test]
+    fn shard_count_never_changes_results() {
+        let run = |shards: usize| {
+            let mut s: Simulation<PingPong> = Simulation::with_shards(
+                42,
+                LatencyModel::Uniform {
+                    min: Duration::from_millis(5),
+                    max: Duration::from_millis(50),
+                },
+                shards,
+            );
+            s.set_loss_probability(0.1);
+            let ids: Vec<ActorId> = (0..9)
+                .map(|_| s.add_actor(PingPong { received: 0 }))
+                .collect();
+            for (i, &a) in ids.iter().enumerate() {
+                s.post(a, ids[(i + 4) % ids.len()], 40 + i as u32);
+            }
+            s.run_to_completion();
+            let received: Vec<u64> =
+                ids.iter().map(|&a| s.actor(a).unwrap().received).collect();
+            (s.now(), s.stats(), received)
+        };
+        let reference = run(1);
+        for shards in [2, 3, 8, 17] {
+            assert_eq!(run(shards), reference, "shards={shards}");
+        }
+        assert_eq!(
+            Simulation::<PingPong>::new(0, LatencyModel::Constant(Duration::ZERO))
+                .shard_count(),
+            crate::shard::DEFAULT_EVENT_SHARDS
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod bandwidth;
 pub mod engine;
 pub mod latency;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Context, Simulation};

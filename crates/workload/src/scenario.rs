@@ -199,6 +199,27 @@ impl Scenario {
         self
     }
 
+    /// Returns the scenario with a different identifier-space width.
+    ///
+    /// The paper's `2^19` space caps groups at 262,144 members; the
+    /// million-member scale tier uses 24 bits. Set the width *before*
+    /// [`with_n`](Self::with_n) so the size check runs against the
+    /// intended space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero, exceeds 63, or makes the current group
+    /// size invalid.
+    pub fn with_bits(mut self, bits: u32) -> Self {
+        assert!(bits > 0 && bits < 64, "bits must be in 1..=63");
+        assert!(
+            (self.n as u64) <= (1u64 << bits) / 2,
+            "group too large for identifier space"
+        );
+        self.bits = bits;
+        self
+    }
+
     /// Returns the scenario with a different capacity rule.
     pub fn with_capacity(mut self, capacity: CapacityAssignment) -> Self {
         self.capacity = capacity;
@@ -335,6 +356,28 @@ mod tests {
         };
         assert_eq!(per_link.expected(700.0), 10.0);
         assert_eq!(CapacityAssignment::Constant(5).expected(999.0), 5.0);
+    }
+
+    #[test]
+    fn widened_space_admits_million_member_groups() {
+        // Too slow to generate 1M members in a debug-mode unit test; the
+        // builder's validation is what matters here (the scale bench
+        // exercises the full generation in release mode).
+        let s = Scenario::paper_default(1).with_bits(24).with_n(1_000_000);
+        assert_eq!(s.bits, 24);
+        assert_eq!(s.n, 1_000_000);
+        let g = Scenario::paper_default(1)
+            .with_bits(24)
+            .with_n(3_000)
+            .members();
+        assert_eq!(g.space().bits(), 24);
+        assert_eq!(g.len(), 3_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "group too large")]
+    fn narrowed_space_rejects_current_group() {
+        let _ = Scenario::paper_default(0).with_bits(10);
     }
 
     #[test]

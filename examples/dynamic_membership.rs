@@ -21,7 +21,6 @@ fn main() {
         .with_n(n)
         .members()
         .iter()
-        .copied()
         .collect();
     let space = IdSpace::PAPER;
     let latency = LatencyModel::Uniform {

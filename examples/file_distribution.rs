@@ -21,7 +21,6 @@ fn main() {
         .with_n(n)
         .members()
         .iter()
-        .copied()
         .collect();
     let mut net = DynamicNetwork::converged(
         IdSpace::PAPER,

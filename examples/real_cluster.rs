@@ -30,7 +30,6 @@ fn main() {
         .with_n(n)
         .members()
         .iter()
-        .copied()
         .collect();
     let space = IdSpace::PAPER;
 

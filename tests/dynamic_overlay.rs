@@ -11,7 +11,6 @@ fn members(n: usize, seed: u64) -> Vec<Member> {
         .with_n(n)
         .members()
         .iter()
-        .copied()
         .collect()
 }
 

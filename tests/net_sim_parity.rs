@@ -19,7 +19,6 @@ fn members() -> Vec<Member> {
         .with_n(N)
         .members()
         .iter()
-        .copied()
         .collect()
 }
 

@@ -89,4 +89,77 @@ proptest! {
             overlay.neighbor_count(member)
         );
     }
+
+    /// The struct-of-arrays bucket index, the binary-search reference, and
+    /// a linear ring scan all resolve every key to the same owner (and the
+    /// successor/predecessor pair agrees with its binsearch reference).
+    #[test]
+    fn owner_resolution_paths_agree(
+        (group, _member) in scenario(),
+        key_raw in 0u64..(1 << 19),
+    ) {
+        let k = Id(key_raw);
+        let linear = group
+            .iter()
+            .position(|m| m.id.value() >= key_raw)
+            .unwrap_or(0);
+        prop_assert_eq!(group.owner_idx(k), linear);
+        prop_assert_eq!(group.owner_idx_binsearch(k), linear);
+        prop_assert_eq!(group.successor_idx(k), group.successor_idx_binsearch(k));
+        prop_assert_eq!(group.predecessor_idx(k), group.predecessor_idx_binsearch(k));
+    }
+
+    /// Streaming tree statistics equal the materialized-tree path exactly
+    /// — integer fields by equality, throughput bit-for-bit — for any
+    /// group and source.
+    #[test]
+    fn streaming_stats_match_materialized_tree((group, src) in scenario()) {
+        let overlay = CamChord::new(group.clone());
+        let tree = overlay.multicast_tree(src);
+        let expected_stats = tree.stats();
+        let expected_tput = tree.bottleneck_throughput_kbps(&group);
+        let (stats, tput) = overlay.multicast_stats(src);
+        prop_assert_eq!(stats, expected_stats);
+        prop_assert_eq!(tput.to_bits(), expected_tput.to_bits());
+    }
+
+    /// The sharded event queue pops in the exact single-heap order for
+    /// any shard count: `seq` uniqueness makes `(at, seq)` a strict total
+    /// order that the shard layout cannot perturb.
+    #[test]
+    fn sharded_queue_pop_order_independent_of_shard_count(
+        shards in 1usize..32,
+        events in prop::collection::vec((0usize..64, 0u64..50), 1..200),
+    ) {
+        use cam::sim::shard::{EventKey, ShardedEventQueue};
+        use cam::sim::time::{Duration, SimTime};
+
+        let keyed: Vec<(usize, EventKey)> = events
+            .iter()
+            .enumerate()
+            .map(|(seq, &(actor, micros))| {
+                (
+                    actor,
+                    EventKey {
+                        at: SimTime::ZERO + Duration::from_micros(micros),
+                        seq: seq as u64,
+                        slot: seq,
+                    },
+                )
+            })
+            .collect();
+        let drain = |mut q: ShardedEventQueue| -> Vec<EventKey> {
+            std::iter::from_fn(move || q.pop()).collect()
+        };
+        let mut reference = ShardedEventQueue::new(1);
+        for &(actor, key) in &keyed {
+            reference.push(actor, key);
+        }
+        let mut sharded = ShardedEventQueue::new(shards);
+        for &(actor, key) in &keyed {
+            sharded.push(actor, key);
+        }
+        prop_assert_eq!(sharded.len(), keyed.len());
+        prop_assert_eq!(drain(sharded), drain(reference));
+    }
 }

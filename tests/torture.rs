@@ -47,3 +47,29 @@ fn torture_seed_3() {
 fn torture_seed_4() {
     torture(4);
 }
+
+/// The colossal preset: a 100,000-node converged network with a couple of
+/// crashes and multicasts — the scale stressor for the shared `O(n)`
+/// directory, struct-of-arrays membership, and sharded event queue.
+///
+/// `#[ignore]`d because it needs release-mode optimization to finish in
+/// reasonable time; CI runs it explicitly with
+/// `cargo test --release --test torture -- --ignored colossal`.
+#[test]
+#[ignore = "release-mode scale run; see the chaos-colossal CI step"]
+fn colossal_seed_1() {
+    let plan = FaultPlan::colossal(1);
+    assert_eq!(plan.nodes, 100_000);
+    let report = run_plan(&plan, HostKind::Sim, false);
+    assert!(
+        report.passed(),
+        "colossal seed 1: {} oracle violation(s), first: {:?}",
+        report.violations.len(),
+        report.violations.first()
+    );
+    let (payload, live, delivered) = *report.census.last().expect("final multicast ran");
+    assert_eq!(
+        delivered, live,
+        "colossal seed 1: payload {payload} delivered to {delivered}/{live}"
+    );
+}
