@@ -21,6 +21,11 @@
 //! million-member tier motivating the struct-of-arrays, sharded-queue, and
 //! streaming-statistics work.
 //!
+//! And the **multigroup** section: the cam-pubsub service layer replaying
+//! a Zipf-popular subscription workload — admissions/second (every
+//! admitted subscribe rebuilds that group's tree against the residual
+//! capacity ledger) and publishes/second over the frozen trees.
+//!
 //! Uses `std::time` only (criterion is a dev-dependency, unavailable to
 //! binaries) and a deterministic splitmix64 key stream instead of an RNG,
 //! so runs are reproducible modulo machine noise.
@@ -42,12 +47,13 @@ use cam_experiments::runner::{
 };
 use cam_experiments::Options;
 use cam_overlay::{MemberSet, StaticOverlay};
+use cam_pubsub::GroupRegistry;
 use cam_ring::Id;
 use cam_sim::engine::{Actor, ActorId, Context, Simulation};
 use cam_sim::latency::LatencyModel;
 use cam_sim::time::Duration;
 use cam_trace::{EventKind, RecordingTracer, Summary, Tracer};
-use cam_workload::{BandwidthDist, CapacityAssignment, Scenario};
+use cam_workload::{BandwidthDist, CapacityAssignment, GroupOp, MultiGroupScenario, Scenario};
 
 /// Attributes wall-clock time to named harness stages as
 /// [`EventKind::PhaseBegin`]/[`EventKind::PhaseEnd`] span pairs in a
@@ -329,6 +335,73 @@ fn bench_scale(n: usize, bits: u32, sources: usize) -> ScaleRow {
     row
 }
 
+struct MultiGroupRow {
+    nodes: usize,
+    groups: usize,
+    subscriptions: usize,
+    admitted: usize,
+    subscribes_per_sec: f64,
+    tree_builds_per_sec: f64,
+    publishes_per_sec: f64,
+}
+
+/// The pub/sub service layer under a Zipf subscription workload: the
+/// subscribe phase admits `subscriptions` Zipf-drawn memberships across
+/// `groups` groups over an `nodes`-member universe (every admission
+/// rebuilds that group's tree against the residual-capacity ledger); the
+/// publish phase replays each group's frozen tree. Both rates are
+/// best-of-3.
+fn bench_multigroup(nodes: usize, groups: usize, subscriptions: usize) -> MultiGroupRow {
+    let universe = group_of(nodes, 3);
+    let ops = MultiGroupScenario::new(nodes, groups, 4).zipf_subscriptions(subscriptions);
+
+    let mut admitted = 0usize;
+    let mut registry = GroupRegistry::new(universe.clone());
+    let subscribe_replay = |reg: &mut GroupRegistry, count: &mut usize| {
+        for op in &ops {
+            match *op {
+                GroupOp::Create { group } => reg.create_group(group).expect("fresh id"),
+                GroupOp::Subscribe { group, node } => {
+                    if reg
+                        .subscribe(group, node)
+                        .expect("known group")
+                        .is_admitted()
+                    {
+                        *count += 1;
+                    }
+                }
+                GroupOp::Unsubscribe { .. } | GroupOp::Publish { .. } => {}
+            }
+        }
+    };
+    let subscribe_secs = best_of(3, || {
+        let mut reg = GroupRegistry::new(universe.clone());
+        let mut count = 0usize;
+        subscribe_replay(&mut reg, &mut count);
+        black_box(count);
+    });
+    subscribe_replay(&mut registry, &mut admitted);
+    registry.ledger().verify().expect("global bound holds");
+
+    let publish_secs = best_of(3, || {
+        let mut reached = 0usize;
+        for g in registry.group_ids() {
+            reached += registry.publish_counting(g).expect("known group").reached;
+        }
+        black_box(reached);
+    });
+
+    MultiGroupRow {
+        nodes,
+        groups,
+        subscriptions,
+        admitted,
+        subscribes_per_sec: subscriptions as f64 / subscribe_secs,
+        tree_builds_per_sec: admitted as f64 / subscribe_secs,
+        publishes_per_sec: groups as f64 / publish_secs,
+    }
+}
+
 struct SweepResult {
     n: usize,
     sources: usize,
@@ -502,6 +575,19 @@ fn main() {
         rows
     });
 
+    // The pub/sub service layer: 64 Zipf-popular groups sharing one
+    // 4,000-node universe's capacity pool.
+    let multigroup = clock.time("multigroup", || bench_multigroup(4_000, 64, 4_000));
+    eprintln!(
+        "multigroup        n={:>6}: {:.0} subscribes/s ({} admitted, {:.0} tree builds/s), {:.0} publishes/s over {} groups",
+        multigroup.nodes,
+        multigroup.subscribes_per_sec,
+        multigroup.admitted,
+        multigroup.tree_builds_per_sec,
+        multigroup.publishes_per_sec,
+        multigroup.groups,
+    );
+
     let phases = clock.spans();
     for (name, secs, mem) in &phases {
         eprintln!(
@@ -563,6 +649,16 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"multigroup\": {{\"nodes\": {}, \"groups\": {}, \"subscriptions\": {}, \"admitted\": {}, \"subscribes_per_sec\": {}, \"tree_builds_per_sec\": {}, \"publishes_per_sec\": {}}},\n",
+        multigroup.nodes,
+        multigroup.groups,
+        multigroup.subscriptions,
+        multigroup.admitted,
+        num(multigroup.subscribes_per_sec),
+        num(multigroup.tree_builds_per_sec),
+        num(multigroup.publishes_per_sec),
+    ));
     json.push_str("  \"phases\": [\n");
     for (i, (name, secs, mem)) in phases.iter().enumerate() {
         json.push_str(&format!(

@@ -103,6 +103,18 @@ impl ReplayBundle {
                 FaultKind::Quiesce => {
                     let _ = writeln!(out, "quiesce");
                 }
+                FaultKind::GroupCreate { group } => {
+                    let _ = writeln!(out, "gcreate {group}");
+                }
+                FaultKind::GroupSubscribe { group, node } => {
+                    let _ = writeln!(out, "gsub {group} {node}");
+                }
+                FaultKind::GroupUnsubscribe { group, node } => {
+                    let _ = writeln!(out, "gunsub {group} {node}");
+                }
+                FaultKind::GroupDestroy { group } => {
+                    let _ = writeln!(out, "gdestroy {group}");
+                }
             }
         }
         if let Some(json) = &self.trace_json {
@@ -228,6 +240,21 @@ impl ReplayBundle {
                 },
                 "multicast" => FaultKind::Multicast,
                 "quiesce" => FaultKind::Quiesce,
+                "gcreate" => FaultKind::GroupCreate {
+                    group: parse_u64(parts.next().ok_or("gcreate: missing group")?, "group")?,
+                },
+                "gsub" => FaultKind::GroupSubscribe {
+                    group: parse_u64(parts.next().ok_or("gsub: missing group")?, "group")?,
+                    node: parse_u64(parts.next().ok_or("gsub: missing node")?, "node")? as u32,
+                },
+                "gunsub" => FaultKind::GroupUnsubscribe {
+                    group: parse_u64(parts.next().ok_or("gunsub: missing group")?, "group")?,
+                    node: parse_u64(parts.next().ok_or("gunsub: missing node")?, "node")?
+                        as u32,
+                },
+                "gdestroy" => FaultKind::GroupDestroy {
+                    group: parse_u64(parts.next().ok_or("gdestroy: missing group")?, "group")?,
+                },
                 other => return Err(format!("unknown event kind `{other}`")),
             };
             events.push(FaultEvent { at_micros, kind });
@@ -328,6 +355,22 @@ mod tests {
             FaultEvent {
                 at_micros: 110,
                 kind: FaultKind::Quiesce,
+            },
+            FaultEvent {
+                at_micros: 120,
+                kind: FaultKind::GroupCreate { group: 6 },
+            },
+            FaultEvent {
+                at_micros: 130,
+                kind: FaultKind::GroupSubscribe { group: 6, node: 4 },
+            },
+            FaultEvent {
+                at_micros: 140,
+                kind: FaultKind::GroupUnsubscribe { group: 6, node: 4 },
+            },
+            FaultEvent {
+                at_micros: 150,
+                kind: FaultKind::GroupDestroy { group: 6 },
             },
         ];
         let bundle = ReplayBundle {

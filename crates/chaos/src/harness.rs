@@ -25,16 +25,17 @@ use cam_core::cam_koorde::CamKoordeProtocol;
 use cam_net::runtime::{Cluster, RetransmitPolicy};
 use cam_net::transport::{InMemoryTransport, Transport};
 use cam_overlay::dynamic::{DhtProtocol, DynamicNetwork};
-use cam_overlay::Member;
+use cam_overlay::{Member, MemberSet};
+use cam_pubsub::GroupRegistry;
 use cam_ring::IdSpace;
 use cam_sim::time::Duration;
 use cam_sim::LatencyModel;
 use cam_trace::{EventKind, RecordingTracer, TraceEvent};
 
 use crate::oracle::{
-    census_of, check_cleanup, check_delivery, check_duplicate_suppression,
-    check_forward_cycles, check_join_completion, check_neighbor_ideal, check_ring_convergence,
-    NodeSnapshot, Violation,
+    census_of, check_cleanup, check_cross_group_capacity, check_delivery,
+    check_duplicate_suppression, check_forward_cycles, check_join_completion,
+    check_neighbor_ideal, check_ring_convergence, NodeSnapshot, Violation,
 };
 use crate::plan::{FaultKind, FaultPlan, ProtocolChoice};
 
@@ -191,6 +192,17 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
     let mut applied = 0usize;
     let mut aborted = false;
 
+    // Shadow pub/sub registry for the plan's group events. Group ops are
+    // service-level: the driver applies them to one registry over the
+    // plan's initial membership (never the joiners), identically for both
+    // hosts, and the `cross_group_capacity` oracle audits its ledger at
+    // every quiescent point. Wire traffic is untouched, so host-parity
+    // comparisons stay meaningful.
+    let mut registry = GroupRegistry::new(
+        MemberSet::new(IdSpace::PAPER, plan.initial_members())
+            .expect("plan members satisfy overlay capacity bounds"),
+    );
+
     host.set_loss_per_mille(plan.loss_base_per_mille);
 
     let mut cursor = 0u64;
@@ -227,10 +239,26 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
             FaultKind::LossRestore => host.set_loss_per_mille(plan.loss_base_per_mille),
             FaultKind::Duplicate { per_mille } => host.set_dup_per_mille(*per_mille),
             FaultKind::Multicast => payloads.push(host.start_multicast()),
+            // Group events mutate the shadow registry only; admission
+            // rejections and unknown-group errors are legitimate outcomes
+            // under a random schedule, not failures.
+            FaultKind::GroupCreate { group } => {
+                let _ = registry.create_group(*group);
+            }
+            FaultKind::GroupSubscribe { group, node } => {
+                let _ = registry.subscribe(*group, *node as usize);
+            }
+            FaultKind::GroupUnsubscribe { group, node } => {
+                let _ = registry.unsubscribe(*group, *node as usize);
+            }
+            FaultKind::GroupDestroy { group } => {
+                let _ = registry.destroy_group(*group);
+            }
             FaultKind::Quiesce => {
                 host.run_quiet(Duration::from_micros(5_000_000));
                 let snaps = host.snapshots();
                 violations.extend(check_duplicate_suppression(&snaps));
+                violations.extend(check_cross_group_capacity(registry.ledger()));
                 host.retry_joins();
                 if !violations.is_empty() {
                     aborted = true;
@@ -290,6 +318,7 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
             violations.extend(check_ring_convergence(&snaps));
             violations.extend(check_neighbor_ideal(&snaps, &|m| host.neighbor_targets(m)));
             violations.extend(check_cleanup(&snaps, kind == HostKind::Net));
+            violations.extend(check_cross_group_capacity(registry.ledger()));
         }
     } else {
         let snaps = host.snapshots();
@@ -340,6 +369,20 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
         h.bytes(v.detail.as_bytes());
     }
     host.fold_counters(&mut h);
+    // Fold the shadow registry's end state so group-event schedules are
+    // covered by the bit-identical-replay guarantee too.
+    let groups = registry.group_ids();
+    h.u64(groups.len() as u64);
+    for g in groups {
+        h.u64(g);
+        h.u64(registry.subscriber_count(g) as u64);
+        h.u64(u64::from(registry.is_degraded(g)));
+        h.u64(u64::from(registry.is_stalled(g)));
+        for &(node, children) in registry.ledger().group_charges(g) {
+            h.u64(node as u64);
+            h.u64(u64::from(children));
+        }
+    }
 
     ChaosReport {
         host: kind,

@@ -20,10 +20,13 @@
 //!   points at the true owner of its target.
 //! * `cleanup` — no leaked retransmit state or timers: dead nodes hold
 //!   nothing, live nodes hold exactly the three maintenance timers.
+//! * `cross_group_capacity` — the pub/sub ledger never charges a node
+//!   more aggregate children (across all live groups) than its `c_x`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use cam_overlay::Member;
+use cam_pubsub::CapacityLedger;
 use cam_ring::Id;
 use cam_trace::{EventKind, TraceEvent};
 
@@ -298,6 +301,24 @@ pub fn check_cleanup(snaps: &[NodeSnapshot], wire_host: bool) -> Vec<Violation> 
     out
 }
 
+/// The pub/sub capacity ledger never overcommits: summed across every
+/// live group, a node's charged child count stays within its declared
+/// `c_x`. [`CapacityLedger::verify`] reports the lowest-indexed
+/// offender, which keeps the violation list deterministic.
+pub fn check_cross_group_capacity(ledger: &CapacityLedger) -> Vec<Violation> {
+    match ledger.verify() {
+        Ok(()) => Vec::new(),
+        Err(over) => vec![violation(
+            "cross_group_capacity",
+            over.node,
+            format!(
+                "charged {} children across groups, capacity {}",
+                over.charged, over.capacity
+            ),
+        )],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +409,19 @@ mod tests {
     }
 
     #[test]
+    fn cross_group_capacity_flags_ledger_overcommit() {
+        let mut ledger = CapacityLedger::new(vec![3, 3]);
+        ledger.commit(1, vec![(0, 2), (1, 3)]);
+        assert!(check_cross_group_capacity(&ledger).is_empty());
+        ledger.commit(2, vec![(1, 1)]);
+        let v = check_cross_group_capacity(&ledger);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].oracle, "cross_group_capacity");
+        assert_eq!(v[0].node, Some(1));
+        assert!(v[0].detail.contains("charged 4"));
+    }
+
+    #[test]
     fn forward_cycles_found_in_trace() {
         let mk = |seq, actor, to| TraceEvent {
             at_micros: seq,
@@ -398,6 +432,7 @@ mod tests {
                 to,
                 hops: 1,
                 segment: None,
+                group: None,
             },
         };
         let v = check_forward_cycles(&[mk(0, 1, 2), mk(1, 1, 2), mk(2, 1, 3)]);

@@ -91,6 +91,37 @@ pub enum FaultKind {
     },
     /// Start a multicast from the anchor node (index 0).
     Multicast,
+    /// Register a pub/sub group in the harness's shadow
+    /// [`GroupRegistry`](cam_pubsub::GroupRegistry). Group events are
+    /// service-level: both hosts share one registry evolution, so they
+    /// never perturb wire traffic or host parity, but every quiescent
+    /// point checks the `cross_group_capacity` oracle against the
+    /// registry's ledger.
+    GroupCreate {
+        /// Group id.
+        group: u64,
+    },
+    /// Subscribe an *initial* node (index < plan.nodes) to a group in
+    /// the shadow registry, under admission control.
+    GroupSubscribe {
+        /// Group id.
+        group: u64,
+        /// Subscriber index into the initial member table.
+        node: u32,
+    },
+    /// Drop a shadow-registry subscription.
+    GroupUnsubscribe {
+        /// Group id.
+        group: u64,
+        /// Subscriber index into the initial member table.
+        node: u32,
+    },
+    /// Destroy a shadow-registry group, releasing its capacity charges
+    /// and rebalancing the survivors.
+    GroupDestroy {
+        /// Group id.
+        group: u64,
+    },
     /// Quiescent checkpoint: drain retransmit state, run the always-on
     /// oracles, and re-kick any stalled joins.
     Quiesce,
@@ -136,8 +167,11 @@ struct PresetCfg {
     final_wait_secs: u64,
     /// Cumulative-ish weights out of 100 for each event class, in order:
     /// crash, restart, churn storm, partition, loss burst, duplication,
-    /// multicast; the remainder is quiesce.
+    /// multicast; the remainder (after `group_weight`) is quiesce.
     weights: [u32; 7],
+    /// Weight for multi-group pub/sub actions against the shadow
+    /// registry (create/subscribe/unsubscribe/destroy).
+    group_weight: u32,
     /// Whether to allow partitions / loss bursts / duplication at all
     /// (torture mirrors the legacy suite, which had none).
     wire_faults: bool,
@@ -153,6 +187,7 @@ const SMALL: PresetCfg = PresetCfg {
     settle_secs: 60,
     final_wait_secs: 15,
     weights: [20, 10, 12, 13, 10, 10, 20],
+    group_weight: 0,
     wire_faults: true,
 };
 
@@ -165,7 +200,8 @@ const DEFAULT: PresetCfg = PresetCfg {
     anti_entropy: true,
     settle_secs: 90,
     final_wait_secs: 20,
-    weights: [20, 10, 14, 13, 10, 8, 20],
+    weights: [18, 9, 12, 12, 9, 7, 18],
+    group_weight: 10,
     wire_faults: true,
 };
 
@@ -179,6 +215,7 @@ const TORTURE: PresetCfg = PresetCfg {
     settle_secs: 150,
     final_wait_secs: 20,
     weights: [30, 10, 25, 0, 0, 0, 30],
+    group_weight: 0,
     wire_faults: false,
 };
 
@@ -204,6 +241,7 @@ const COLOSSAL: PresetCfg = PresetCfg {
     settle_secs: 20,
     final_wait_secs: 20,
     weights: [30, 0, 0, 0, 0, 0, 40],
+    group_weight: 0,
     wire_faults: false,
 };
 
@@ -344,6 +382,9 @@ fn generate(seed: u64, cfg: &PresetCfg) -> FaultPlan {
     let mut partition_active = false;
     let mut loss_active = false;
     let mut dup_active = false;
+    // Shadow-registry group model: live group ids and the next fresh one.
+    let mut groups: Vec<u64> = Vec::new();
+    let mut next_group: u64 = 1;
 
     for _ in 0..cfg.events {
         t += rng.exp_micros(cfg.mean_gap_micros).max(50_000);
@@ -526,6 +567,31 @@ fn generate(seed: u64, cfg: &PresetCfg) -> FaultPlan {
                 at_micros: t,
                 kind: FaultKind::Multicast,
             });
+        } else if roll <= c7 + cfg.group_weight {
+            // Multi-group pub/sub action against the shadow registry:
+            // mostly subscriptions (they exercise admission control),
+            // some creates, a few unsubscribes and destroys.
+            let action = rng.uniform_incl(0, 99);
+            if groups.is_empty() || action < 20 {
+                events.push(FaultEvent {
+                    at_micros: t,
+                    kind: FaultKind::GroupCreate { group: next_group },
+                });
+                groups.push(next_group);
+                next_group += 1;
+            } else {
+                let g = groups[rng.uniform_incl(0, groups.len() as u64 - 1) as usize];
+                let node = rng.uniform_incl(0, cfg.nodes as u64 - 1) as u32;
+                let kind = if action < 70 {
+                    FaultKind::GroupSubscribe { group: g, node }
+                } else if action < 90 {
+                    FaultKind::GroupUnsubscribe { group: g, node }
+                } else {
+                    groups.retain(|&x| x != g);
+                    FaultKind::GroupDestroy { group: g }
+                };
+                events.push(FaultEvent { at_micros: t, kind });
+            }
         } else {
             events.push(FaultEvent {
                 at_micros: t,
@@ -621,6 +687,50 @@ mod tests {
             "generation deterministic"
         );
         assert_eq!(FaultPlan::by_preset("colossal", 1).unwrap().nodes, 100_000);
+    }
+
+    #[test]
+    fn default_preset_carries_group_events_and_others_do_not() {
+        let mut any = false;
+        for seed in 1..=10 {
+            let plan = FaultPlan::default_plan(seed);
+            let mut live: BTreeSet<u64> = BTreeSet::new();
+            for e in &plan.events {
+                match e.kind {
+                    FaultKind::GroupCreate { group } => {
+                        any = true;
+                        assert!(live.insert(group), "group {group} created twice");
+                    }
+                    FaultKind::GroupSubscribe { group, node }
+                    | FaultKind::GroupUnsubscribe { group, node } => {
+                        any = true;
+                        assert!(live.contains(&group), "op on unknown group {group}");
+                        assert!((node as usize) < plan.nodes, "node {node} not initial");
+                    }
+                    FaultKind::GroupDestroy { group } => {
+                        any = true;
+                        assert!(live.remove(&group), "destroyed unknown group {group}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(any, "default preset should schedule group events");
+        for seed in 1..=5 {
+            for name in ["small", "torture"] {
+                let plan = FaultPlan::by_preset(name, seed).unwrap();
+                assert!(
+                    plan.events.iter().all(|e| !matches!(
+                        e.kind,
+                        FaultKind::GroupCreate { .. }
+                            | FaultKind::GroupSubscribe { .. }
+                            | FaultKind::GroupUnsubscribe { .. }
+                            | FaultKind::GroupDestroy { .. }
+                    )),
+                    "{name} preset must stay group-free"
+                );
+            }
+        }
     }
 
     #[test]

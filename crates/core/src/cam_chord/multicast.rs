@@ -91,15 +91,55 @@ pub fn select_children_into(
     selection: ChildSelection,
     out: &mut Vec<ChildAssignment>,
 ) {
+    select_children_capped_into(group, x_idx, k, group.capacity_at(x_idx), selection, out);
+}
+
+/// [`select_children_into`] with an explicit capacity cap instead of the
+/// member's full `c_x` — the primitive behind cross-group *residual*
+/// capacity (cam-pubsub's `CapacityLedger`).
+///
+/// * `cap >= 2` runs the paper's level/sequence selection with `c = cap`.
+/// * `cap <= 1` degrades to **chain mode**: the entire region is handed to
+///   the successor `x̂_{0,1}` as a single child. This is still an exact
+///   partition — `(x, k] = {owner(x+1)} ∪ (owner(x+1), k]` — so the
+///   exactly-once delivery guarantee survives even when a node's global
+///   capacity budget is exhausted down to one child. A cap of `0` also
+///   selects the one chain child; *refusing* to forward at zero residual
+///   capacity is an admission-control decision that belongs to the caller
+///   (the service layer rejects the subscribe), not to the region math,
+///   which must never strand a region undelivered.
+///
+/// # Panics
+///
+/// Panics if `x_idx` is out of range.
+pub fn select_children_capped_into(
+    group: &MemberSet,
+    x_idx: usize,
+    k: Id,
+    cap: u32,
+    selection: ChildSelection,
+    out: &mut Vec<ChildAssignment>,
+) {
     out.clear();
     let space = group.space();
     let x = group.member(x_idx).id;
-    let c = u64::from(group.member(x_idx).capacity);
+    let c = u64::from(cap);
     if space.seg_len(x, k) == 0 {
         return; // Lines 1–2: empty region.
     }
 
-    let (i, j) = level_seq_of(space, x, group.member(x_idx).capacity, k);
+    if cap < 2 {
+        // Chain mode: one child (the successor's owner) covers everything.
+        let target = space.add(x, 1);
+        let child_idx = group.owner_idx(target);
+        let child_id = group.member(child_idx).id;
+        if space.in_segment(child_id, x, k) {
+            out.push((child_idx, k));
+        }
+        return;
+    }
+
+    let (i, j) = level_seq_of(space, x, cap, k);
     let mut k_prime = k;
 
     // Tries to adopt owner(target) as a child for the tail region
@@ -190,6 +230,29 @@ pub fn multicast_into<S: DeliverySink>(
     selection: ChildSelection,
     sink: &mut S,
 ) {
+    multicast_into_capped(group, source, selection, |i| group.capacity_at(i), sink);
+}
+
+/// [`multicast_into`] with a per-node capacity cap supplied by `cap_of`
+/// instead of each member's full `c_x`.
+///
+/// This is how cam-pubsub builds per-group trees against *residual*
+/// capacity: `cap_of(i)` returns what member `i` has left after its child
+/// commitments to every other group. Caps below 2 degrade that node to
+/// chain mode (see [`select_children_capped_into`]); the region partition —
+/// and therefore exactly-once delivery — holds for any cap assignment.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, or (via `debug_assert`) if region
+/// bookkeeping ever attempts a duplicate delivery.
+pub fn multicast_into_capped<S: DeliverySink, F: Fn(usize) -> u32>(
+    group: &MemberSet,
+    source: usize,
+    selection: ChildSelection,
+    cap_of: F,
+    sink: &mut S,
+) {
     use std::cell::RefCell;
     use std::collections::VecDeque;
 
@@ -211,7 +274,7 @@ pub fn multicast_into<S: DeliverySink>(
         queue.push_back((source, space.sub(group.member(source).id, 1), 0));
 
         while let Some((node, k, hops)) = queue.pop_front() {
-            select_children_into(group, node, k, selection, picks);
+            select_children_capped_into(group, node, k, cap_of(node), selection, picks);
             for &(child, region_end) in picks.iter() {
                 let fresh = sink.deliver(node, child, hops + 1);
                 debug_assert!(fresh, "duplicate delivery to member {child} — region leak");
@@ -386,6 +449,66 @@ mod tests {
         assert_eq!(t.fanout(0), 5, "source should use its full capacity");
         // Depth near log_c n: log_5 500 ≈ 3.9 → depth ≤ 8 (2× slack).
         assert!(t.stats().depth <= 8, "depth {}", t.stats().depth);
+    }
+
+    /// Cap 1 (and 0) degrade every node to chain mode: the tree becomes the
+    /// ring walk, still delivering to everyone exactly once.
+    #[test]
+    fn chain_mode_is_an_exact_partition() {
+        let g = fig2_group();
+        for cap in [0u32, 1] {
+            for src in 0..g.len() {
+                let mut tree = MulticastTree::new(g.len(), src);
+                multicast_into_capped(&g, src, ChildSelection::Ceil, |_| cap, &mut tree);
+                assert!(tree.is_complete(), "cap {cap} source {src} missed members");
+                tree.check_invariants(&g).unwrap();
+                assert_eq!(
+                    tree.stats().depth as usize,
+                    g.len() - 1,
+                    "chain depth must be n-1"
+                );
+            }
+        }
+    }
+
+    /// Heterogeneous residual caps (including exhausted nodes) keep the
+    /// exactly-once guarantee — the invariant cam-pubsub's ledger builds on.
+    #[test]
+    fn mixed_residual_caps_deliver_exactly_once() {
+        let g = MemberSet::new(
+            IdSpace::new(10),
+            (0..90u64)
+                .map(|i| Member::with_capacity(Id(i * 11 + 2), 6))
+                .collect(),
+        )
+        .unwrap();
+        for src in [0usize, 13, 89] {
+            let mut tree = MulticastTree::new(g.len(), src);
+            multicast_into_capped(&g, src, ChildSelection::Ceil, |i| (i % 5) as u32, &mut tree);
+            assert!(tree.is_complete(), "source {src} missed members");
+            tree.check_invariants(&g).unwrap();
+        }
+    }
+
+    /// With cap equal to the member's capacity, the capped selection is the
+    /// uncapped selection, child for child and region for region.
+    #[test]
+    fn full_cap_matches_uncapped_selection() {
+        let g = fig2_group();
+        let mut capped = Vec::new();
+        for x in 0..g.len() {
+            let k = g.space().sub(g.member(x).id, 1);
+            let uncapped = select_children(&g, x, k, ChildSelection::Ceil);
+            select_children_capped_into(
+                &g,
+                x,
+                k,
+                g.capacity_at(x),
+                ChildSelection::Ceil,
+                &mut capped,
+            );
+            assert_eq!(uncapped, capped);
+        }
     }
 
     #[test]

@@ -80,6 +80,7 @@ fn main() -> ExitCode {
             "theory",
             "heterogeneity",
             "stability",
+            "multigroup",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -124,6 +125,7 @@ fn main() -> ExitCode {
             "theory" => ext::theory(&opts),
             "heterogeneity" => ext::heterogeneity(&opts),
             "stability" => ext::tree_stability(&opts),
+            "multigroup" => ext::multigroup(&opts),
             other => return usage(&format!("unknown figure {other}")),
         };
         println!("{}", table.to_text());
@@ -147,7 +149,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--plot] [--n SIZE] [--sources K] [--out DIR] \
          [--trace-out FILE] \
-         [fig6|fig7|fig8|fig9|fig10|fig11|resilience|overhead|ablation|lookup|load|churn|proximity|loss|theory|heterogeneity|stability|all]..."
+         [fig6|fig7|fig8|fig9|fig10|fig11|resilience|overhead|ablation|lookup|load|churn|proximity|loss|theory|heterogeneity|stability|multigroup|all]..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

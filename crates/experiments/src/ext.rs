@@ -820,6 +820,77 @@ pub fn proximity(opts: &Options) -> DataTable {
     table
 }
 
+/// Ext-L: multi-group pub/sub — delivery and capacity fairness as the
+/// group count scales over one shared universe (DESIGN.md §3g).
+///
+/// A seeded Zipf workload (`MultiGroupScenario::zipf_subscriptions`)
+/// creates the groups and drives subscriptions through the
+/// [`GroupRegistry`](cam_pubsub::GroupRegistry)'s admission control;
+/// every publish is then folded into a per-group delivery census. Three
+/// measurements per group count: mean per-group delivery ratio, the
+/// admitted fraction of subscription attempts, and Jain's index over the
+/// per-node aggregate child load (1.0 = perfectly even forwarding load
+/// across the universe). The global invariant — no node's total children
+/// across all groups exceeds its `c_x` — is asserted, not measured.
+pub fn multigroup(opts: &Options) -> DataTable {
+    use cam_pubsub::GroupRegistry;
+    use cam_trace::GroupDeliveryCensus;
+    use cam_workload::{GroupOp, MultiGroupScenario};
+
+    let n = opts.n.min(10_000);
+    let group_counts = [8usize, 32, 128, 512];
+    let mut table = DataTable::new(
+        format!("Ext-L: multi-group pub/sub over a shared {n}-node universe"),
+        "groups",
+    );
+    let mut delivery = DataSeries::new("mean per-group delivery ratio");
+    let mut admitted_frac = DataSeries::new("admitted subscription fraction");
+    let mut jain_load = DataSeries::new("jain index of per-node child load");
+    for &groups in &group_counts {
+        let universe = Scenario::paper_default(opts.sub_seed(0xF1))
+            .with_n(n)
+            .members();
+        let mut reg = GroupRegistry::new(universe);
+        let subscriptions = (groups * 25).min(2 * n);
+        let ops = MultiGroupScenario::new(n, groups, opts.sub_seed(0xF2))
+            .zipf_subscriptions(subscriptions);
+        let (mut attempts, mut admitted) = (0u64, 0u64);
+        let mut census = GroupDeliveryCensus::default();
+        for op in ops {
+            match op {
+                GroupOp::Create { group } => {
+                    reg.create_group(group).expect("generator emits fresh ids");
+                }
+                GroupOp::Subscribe { group, node } => {
+                    attempts += 1;
+                    let a = reg.subscribe(group, node).expect("group was created");
+                    admitted += u64::from(a.is_admitted());
+                }
+                GroupOp::Unsubscribe { group, node } => {
+                    reg.unsubscribe(group, node).expect("group was created");
+                }
+                GroupOp::Publish { group } => {
+                    reg.publish_census(group, &mut census)
+                        .expect("group was created");
+                }
+            }
+        }
+        reg.ledger()
+            .verify()
+            .expect("no node past its global capacity");
+        let ratios = census.ratios();
+        let mean_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        let load: Vec<f64> = (0..n).map(|i| f64::from(reg.ledger().charged(i))).collect();
+        delivery.push(groups as f64, mean_ratio);
+        admitted_frac.push(groups as f64, admitted as f64 / attempts.max(1) as f64);
+        jain_load.push(groups as f64, cam_metrics::fairness::jain(&load));
+    }
+    table.push(delivery);
+    table.push(admitted_frac);
+    table.push(jain_load);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1007,6 +1078,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multigroup_sweep_is_sound() {
+        let mut opts = tiny();
+        opts.n = 600;
+        let table = multigroup(&opts);
+        let delivery = table.series_named("mean per-group delivery ratio").unwrap();
+        let admitted = table
+            .series_named("admitted subscription fraction")
+            .unwrap();
+        let jain = table
+            .series_named("jain index of per-node child load")
+            .unwrap();
+        for s in [delivery, admitted, jain] {
+            assert_eq!(s.points.len(), 4, "{}", s.name);
+            for &(g, y) in &s.points {
+                assert!((0.0..=1.0).contains(&y), "{} at {g} groups: {y}", s.name);
+            }
+        }
+        // With capacity to spare the workload should be overwhelmingly
+        // admitted and delivered.
+        assert!(admitted.points[0].1 > 0.9, "{:?}", admitted.points);
+        assert!(delivery.points[0].1 > 0.9, "{:?}", delivery.points);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! Scope is by construction, not configuration:
 //!
 //! * **determinism** — `src/` of the protocol crates `core`, `overlay`,
-//!   `sim`, `net`, `trace`, `chaos` (the crates whose state machines must
-//!   replay bit-identically under a fixed seed; the tracer records
-//!   replayed runs, so it must not smuggle in wall-clock time of its own,
-//!   and the chaos fault generator derives every fault from the plan seed
-//!   — ambient entropy there would make failing seeds unreproducible);
+//!   `sim`, `net`, `trace`, `chaos`, `pubsub` (the crates whose state
+//!   machines must replay bit-identically under a fixed seed; the tracer
+//!   records replayed runs, so it must not smuggle in wall-clock time of
+//!   its own, the chaos fault generator derives every fault from the plan
+//!   seed — ambient entropy there would make failing seeds unreproducible
+//!   — and the pub/sub registry's admission decisions feed both the chaos
+//!   fingerprint and the census-parity contract);
 //! * **panic_safety** — `src/` of `net` (runtime, codec, transports: the
 //!   code a hostile or lossy wire exercises);
 //! * **unsafe_code** — every library crate root (`crates/*/src/lib.rs`
@@ -28,7 +30,7 @@ use std::path::{Path, PathBuf};
 use crate::rules::{analyze_file, check_wire, FileCtx, Finding, Rule, WireSources};
 
 /// Crates whose protocol state machines must be deterministic.
-const PROTOCOL_CRATES: &[&str] = &["core", "overlay", "sim", "net", "trace", "chaos"];
+const PROTOCOL_CRATES: &[&str] = &["core", "overlay", "sim", "net", "trace", "chaos", "pubsub"];
 
 /// Crates whose non-test code must be panic-free.
 const PANIC_FREE_CRATES: &[&str] = &["net"];

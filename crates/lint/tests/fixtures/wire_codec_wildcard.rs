@@ -1,0 +1,23 @@
+//! Wire fixture: a codec written against the three-variant `MiniMsg`
+//! whose every match ends in a wildcard "for forward compatibility".
+//! Against that enum it is complete; the moment the enum grows a variant
+//! (see `wire_enum_grown.rs`) it still compiles — the wildcards swallow
+//! the new variant on both the encode and decode paths.
+
+pub fn put_msg(msg: &MiniMsg) -> u8 {
+    match msg {
+        MiniMsg::Ping => 0,
+        MiniMsg::Pong { .. } => 1,
+        MiniMsg::Data(_) => 2,
+        _ => 255,
+    }
+}
+
+pub fn read_msg(tag: u8) -> Option<MiniMsg> {
+    match tag {
+        0 => Some(MiniMsg::Ping),
+        1 => Some(MiniMsg::Pong { token: 0 }),
+        2 => Some(MiniMsg::Data(Vec::new())),
+        _ => None,
+    }
+}

@@ -1,0 +1,23 @@
+//! Wire fixture: the miniature enum after growing a fourth variant —
+//! paired with the original codec and round-trip fixtures, it models the
+//! exact failure the rule exists for: a protocol extension (here a
+//! pub/sub subscribe, mirroring the real `DhtMsg::GroupSubscribe`) that
+//! compiles because the codec's wildcard arms swallow it silently.
+
+/// Four variants: unit, struct, tuple, and the freshly grown one.
+pub enum MiniMsg {
+    /// Liveness probe.
+    Ping,
+    /// Probe answer.
+    Pong {
+        /// Echoed token.
+        token: u64,
+    },
+    /// Opaque payload.
+    Data(Vec<u8>),
+    /// The new variant nobody taught the codec about.
+    Sub {
+        /// Group identifier.
+        group: u64,
+    },
+}

@@ -228,6 +228,47 @@ fn variant_hidden_behind_wildcard_is_caught() {
 }
 
 #[test]
+fn newly_grown_variant_cannot_hide_behind_wildcards() {
+    // The protocol-extension trap: `MiniMsg` grows a `Sub` variant (the
+    // fixture mirrors `DhtMsg::GroupSubscribe`), but the codec was written
+    // with wildcard arms and the round-trip suite predates the variant —
+    // everything still compiles. The cross-file check must report the gap
+    // in each codec function AND in the round-trip suite, while staying
+    // silent about the three pre-existing variants.
+    let f = check_wire(&WireSources {
+        enum_src: (
+            "wire_enum_grown.rs",
+            include_str!("fixtures/wire_enum_grown.rs"),
+        ),
+        enum_name: "MiniMsg",
+        codec_src: (
+            "wire_codec_wildcard.rs",
+            include_str!("fixtures/wire_codec_wildcard.rs"),
+        ),
+        codec_fns: &["put_msg", "read_msg"],
+        roundtrip_src: (
+            "wire_roundtrip.rs",
+            include_str!("fixtures/wire_roundtrip.rs"),
+        ),
+    });
+    assert_eq!(f.len(), 3, "findings:\n{}", render(&f));
+    assert!(f
+        .iter()
+        .all(|x| x.rule == Rule::WireExhaustive && x.message.contains("MiniMsg::Sub")));
+    for gap in [
+        "has no arm in `put_msg`",
+        "has no arm in `read_msg`",
+        "never exercised by the codec round-trip tests",
+    ] {
+        assert!(
+            f.iter().any(|x| x.message.contains(gap)),
+            "missing finding for {gap:?}:\n{}",
+            render(&f)
+        );
+    }
+}
+
+#[test]
 fn roundtrip_gaps_are_reported_per_variant() {
     // The enum file itself never writes `MiniMsg::Variant` paths, so as a
     // stand-in round-trip suite it misses all three variants.

@@ -241,6 +241,10 @@ fn msg_len(msg: &DhtMsg) -> usize {
         DhtMsg::PayloadPush { data, .. } => 8 + 4 + 4 + data.len(),
         DhtMsg::JoinRequest { .. } => MEMBER_LEN + 8,
         DhtMsg::JoinAnswer { successors } => 4 + MEMBER_LEN * successors.len(),
+        DhtMsg::GroupSubscribe { .. } | DhtMsg::GroupUnsubscribe { .. } => 8 + 8,
+        DhtMsg::GroupPublish { region, data, .. } => {
+            8 + 8 + 1 + region.map_or(0, |_| 16) + 4 + 4 + data.len()
+        }
     }
 }
 
@@ -342,6 +346,37 @@ fn put_msg(out: &mut Vec<u8>, msg: &DhtMsg) {
         DhtMsg::JoinAnswer { successors } => {
             out.push(12);
             put_members(out, successors);
+        }
+        DhtMsg::GroupSubscribe { group, member } => {
+            out.push(13);
+            put_u64(out, *group);
+            put_u64(out, *member);
+        }
+        DhtMsg::GroupUnsubscribe { group, member } => {
+            out.push(14);
+            put_u64(out, *group);
+            put_u64(out, *member);
+        }
+        DhtMsg::GroupPublish {
+            group,
+            payload,
+            region,
+            hops,
+            data,
+        } => {
+            out.push(15);
+            put_u64(out, *group);
+            put_u64(out, *payload);
+            match region {
+                None => out.push(0),
+                Some(seg) => {
+                    out.push(1);
+                    put_u64(out, seg.from.value());
+                    put_u64(out, seg.to.value());
+                }
+            }
+            put_u32(out, *hops);
+            put_bytes(out, data);
         }
     }
 }
@@ -524,6 +559,25 @@ fn read_msg(r: &mut Reader<'_>) -> Result<DhtMsg, WireError> {
         },
         12 => DhtMsg::JoinAnswer {
             successors: r.members()?,
+        },
+        13 => DhtMsg::GroupSubscribe {
+            group: r.u64()?,
+            member: r.u64()?,
+        },
+        14 => DhtMsg::GroupUnsubscribe {
+            group: r.u64()?,
+            member: r.u64()?,
+        },
+        15 => DhtMsg::GroupPublish {
+            group: r.u64()?,
+            payload: r.u64()?,
+            region: if r.bool()? {
+                Some(Segment::new(Id(r.u64()?), Id(r.u64()?)))
+            } else {
+                None
+            },
+            hops: r.u32()?,
+            data: r.bytes()?,
         },
         other => return Err(WireError::BadTag(other)),
     })

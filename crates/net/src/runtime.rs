@@ -32,7 +32,7 @@ use cam_overlay::Member;
 use cam_ring::{Id, IdSpace, Segment};
 use cam_sim::rng::SimRng;
 use cam_sim::{ActorId, Duration, SimTime};
-use cam_trace::{DeliveryCensus, EventKind, NopTracer, Tracer};
+use cam_trace::{DeliveryCensus, EventKind, GroupDeliveryCensus, NopTracer, Tracer};
 
 use crate::codec::{decode_frame, encode_frame, Frame};
 use crate::transport::{Transport, WireCounters};
@@ -634,6 +634,88 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         payload
     }
 
+    /// Subscribes node `subscriber` to pub/sub group `group`: its local
+    /// delivery filter flips immediately and the membership routes over
+    /// the wire to the group's rendezvous root — the same message flow as
+    /// the sim harness, so censuses from both hosts are comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscriber >= self.len()`.
+    pub fn subscribe(&mut self, subscriber: usize, group: u64) {
+        let member = self.node_at(subscriber).actor.member().id.value();
+        self.dispatch(
+            subscriber,
+            ActorId(subscriber),
+            DhtMsg::GroupSubscribe { group, member },
+        );
+    }
+
+    /// Removes node `subscriber`'s subscription to `group` (routed like
+    /// [`Cluster::subscribe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscriber >= self.len()`.
+    pub fn unsubscribe(&mut self, subscriber: usize, group: u64) {
+        let member = self.node_at(subscriber).actor.member().id.value();
+        self.dispatch(
+            subscriber,
+            ActorId(subscriber),
+            DhtMsg::GroupUnsubscribe { group, member },
+        );
+    }
+
+    /// Initiates a publish in `group` at node `source`, returning the
+    /// payload id. Forwarded like a multicast (acked, retransmitted), but
+    /// only subscribers deliver it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= self.len()`.
+    pub fn start_group_publish(
+        &mut self,
+        source: usize,
+        group: u64,
+        region_split: bool,
+        data: bytes::Bytes,
+    ) -> u64 {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let member_id = self.node_at(source).actor.member().id;
+        let region = region_split.then(|| Segment::all_but(self.space, member_id));
+        self.dispatch(
+            source,
+            ActorId(source),
+            DhtMsg::GroupPublish {
+                group,
+                payload,
+                region,
+                hops: 0,
+                data,
+            },
+        );
+        payload
+    }
+
+    /// Folds the given `(group, payload)` publishes into a per-group
+    /// [`GroupDeliveryCensus`] over each group's live subscribers — the
+    /// same fold as the sim harness's `group_delivery_census`, so equal
+    /// seeds produce bit-identical censuses across hosts.
+    pub fn group_delivery_census(&self, publishes: &[(u64, u64)]) -> GroupDeliveryCensus {
+        let mut census = GroupDeliveryCensus::new();
+        for nd in &self.nodes {
+            if nd.alive {
+                for &(group, payload) in publishes {
+                    if nd.actor.is_subscribed(group) {
+                        census.observe(group, true, nd.actor.has_group_payload(group, payload));
+                    }
+                }
+            }
+        }
+        census
+    }
+
     /// Fraction of live nodes that have received `payload`, under the
     /// same [`DeliveryCensus`] rules the sim harness uses, so ratios from
     /// both hosts are directly comparable.
@@ -852,7 +934,10 @@ impl<P: DhtProtocol, T: Transport> Cluster<P, T> {
         if to >= self.transport.endpoints() {
             return; // stale address: lost, like the sim's unknown actor
         }
-        let needs_ack = matches!(msg, DhtMsg::Multicast { .. } | DhtMsg::PayloadPush { .. });
+        let needs_ack = matches!(
+            msg,
+            DhtMsg::Multicast { .. } | DhtMsg::PayloadPush { .. } | DhtMsg::GroupPublish { .. }
+        );
         let nd = self.node_at_mut(i);
         let seq = nd.next_seq;
         nd.next_seq += 1;

@@ -72,6 +72,21 @@ fn msg_from(tag: u8, a: u64, b: u64, hops: u32, ids: &[u64], data: &[u8]) -> Dht
         12 => DhtMsg::JoinAnswer {
             successors: members,
         },
+        13 => DhtMsg::GroupSubscribe {
+            group: a,
+            member: b,
+        },
+        14 => DhtMsg::GroupUnsubscribe {
+            group: a,
+            member: b,
+        },
+        15 => DhtMsg::GroupPublish {
+            group: a,
+            payload: b,
+            region: (a & 1 == 1).then(|| Segment::new(Id(b), Id(b ^ a))),
+            hops,
+            data: Bytes::from(data.to_vec()),
+        },
         other => unreachable!("tag {other}"),
     }
 }
@@ -79,7 +94,7 @@ fn msg_from(tag: u8, a: u64, b: u64, hops: u32, ids: &[u64], data: &[u8]) -> Dht
 /// One representative of every variant, for the deterministic negative
 /// tests below.
 fn sample_msgs() -> Vec<DhtMsg> {
-    (0u8..13)
+    (0u8..16)
         .map(|tag| {
             msg_from(
                 tag,
@@ -98,7 +113,7 @@ proptest! {
     /// is exactly as long as `wire_cost` predicts.
     #[test]
     fn data_frames_roundtrip(
-        (tag, a, b) in (0u8..13, 0u64..u64::MAX, 0u64..u64::MAX),
+        (tag, a, b) in (0u8..16, 0u64..u64::MAX, 0u64..u64::MAX),
         hops in 0u32..u32::MAX,
         ids in prop::collection::vec(0u64..u64::MAX, 0..12),
         data in prop::collection::vec(0u8..=255, 0..512),
@@ -142,7 +157,7 @@ proptest! {
 fn bounded_roundtrip_all_variants() {
     let mut seed = 0x9E37_79B9_7F4A_7C15u64;
     for round in 0..4u64 {
-        for tag in 0u8..13 {
+        for tag in 0u8..16 {
             seed = seed
                 .wrapping_mul(6_364_136_223_846_793_005)
                 .wrapping_add(round | 1);
@@ -226,8 +241,8 @@ fn unknown_kind_tag_and_flags_are_rejected() {
         msg: DhtMsg::StabilizeQuery,
     };
     let mut bytes = encode_frame(&data).unwrap();
-    bytes[23] = 13; // first unassigned message tag
-    assert_eq!(decode_frame(&bytes), Err(WireError::BadTag(13)));
+    bytes[23] = 16; // first unassigned message tag
+    assert_eq!(decode_frame(&bytes), Err(WireError::BadTag(16)));
     let mut bytes = encode_frame(&data).unwrap();
     bytes[22] = 0b10; // undefined flag bit
     assert_eq!(decode_frame(&bytes), Err(WireError::BadFlags(0b10)));

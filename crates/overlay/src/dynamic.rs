@@ -23,7 +23,7 @@ use cam_ring::{Id, IdSpace, Segment};
 use cam_sim::engine::{Actor, ActorId, Context};
 use cam_sim::time::Duration;
 use cam_sim::{LatencyModel, Simulation};
-use cam_trace::{DeliveryCensus, EventKind};
+use cam_trace::{DeliveryCensus, EventKind, GroupDeliveryCensus};
 
 use crate::Member;
 
@@ -249,6 +249,56 @@ pub enum DhtMsg {
         /// The joiner's future successor list.
         successors: Vec<Member>,
     },
+    /// Subscribe `member` to pub/sub group `group`. Injected self-addressed
+    /// at the subscriber (which flips its local subscription flag), then
+    /// routed greedily clockwise to the group's rendezvous root — the owner
+    /// of `group_root_id(group)` — which records the membership.
+    GroupSubscribe {
+        /// Group being subscribed to.
+        group: u64,
+        /// Ring identifier of the subscribing member.
+        member: u64,
+    },
+    /// Remove `member` from group `group`; routed like
+    /// [`DhtMsg::GroupSubscribe`].
+    GroupUnsubscribe {
+        /// Group being left.
+        group: u64,
+        /// Ring identifier of the departing member.
+        member: u64,
+    },
+    /// A pub/sub publish for one group. Forwarded exactly like
+    /// [`DhtMsg::Multicast`] — the per-group tree is *implicit*, sharing the
+    /// one ring and neighbor table — but only subscribers of `group` deliver
+    /// the payload to the application.
+    GroupPublish {
+        /// The group this payload belongs to.
+        group: u64,
+        /// Identifies the publish (for duplicate suppression).
+        payload: u64,
+        /// Region to cover (region-splitting protocols) or `None`
+        /// (flooding).
+        region: Option<Segment>,
+        /// Hop count from the source.
+        hops: u32,
+        /// Application payload.
+        data: bytes::Bytes,
+    },
+}
+
+/// The rendezvous-root identifier for pub/sub group `group`: a
+/// deterministic hash of the group id mapped into the ring's identifier
+/// space. The owner of this identifier is the group's root — the node that
+/// tracks the group's membership.
+///
+/// The mix is SplitMix64's finalizer, so consecutive group ids scatter
+/// uniformly instead of clustering on one arc of the ring.
+pub fn group_root_id(space: IdSpace, group: u64) -> Id {
+    let mut z = group.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Id(z & space.mask())
 }
 
 /// Per-node state and behaviour of a live DHT participant.
@@ -304,8 +354,21 @@ pub struct DhtActor<P: DhtProtocol> {
     /// Whether this node takes part in anti-entropy payload repair
     /// (pbcast-style pull gossip; see `set_anti_entropy`).
     anti_entropy: bool,
+    /// Pub/sub groups this node is subscribed to (ordered: iteration
+    /// feeds deterministic censuses).
+    subscriptions: std::collections::BTreeSet<u64>,
+    /// Rendezvous-root state: for each group whose root identifier this
+    /// node owns, the ring identifiers of its subscribers.
+    group_members: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>>,
+    /// Which pub/sub group each seen payload belongs to (group publishes
+    /// only) — keeps group traffic out of the ungrouped anti-entropy
+    /// digests and attributes censuses.
+    group_of: HashMap<u64, u64>,
     /// Statistics: multicast payloads received (payload, hops).
     pub received_log: Vec<(u64, u32)>,
+    /// Statistics: group publishes delivered to this subscriber
+    /// `(group, payload, hops)`.
+    pub group_received_log: Vec<(u64, u64, u32)>,
 }
 
 #[derive(Debug, Clone)]
@@ -347,7 +410,11 @@ impl<P: DhtProtocol> DhtActor<P> {
             joined: false,
             stabilize_every: Duration::from_millis(500),
             anti_entropy: false,
+            subscriptions: std::collections::BTreeSet::new(),
+            group_members: std::collections::BTreeMap::new(),
+            group_of: HashMap::new(),
             received_log: Vec::new(),
+            group_received_log: Vec::new(),
         }
     }
 
@@ -439,6 +506,33 @@ impl<P: DhtProtocol> DhtActor<P> {
     /// The application bytes delivered for `payload`, if it arrived.
     pub fn payload_data(&self, payload: u64) -> Option<&bytes::Bytes> {
         self.delivered_data.get(&payload)
+    }
+
+    /// Whether this node is subscribed to pub/sub group `group`.
+    pub fn is_subscribed(&self, group: u64) -> bool {
+        self.subscriptions.contains(&group)
+    }
+
+    /// Groups this node subscribes to, ascending.
+    pub fn subscribed_groups(&self) -> Vec<u64> {
+        self.subscriptions.iter().copied().collect()
+    }
+
+    /// Whether the group publish `(group, payload)` was delivered here
+    /// (i.e. this node was a subscriber when the payload arrived).
+    pub fn has_group_payload(&self, group: u64, payload: u64) -> bool {
+        self.group_received_log
+            .iter()
+            .any(|&(g, p, _)| g == group && p == payload)
+    }
+
+    /// Rendezvous-root view: the subscriber identifiers recorded for
+    /// `group` *at this node*. Non-empty only on the group's root.
+    pub fn group_members_of(&self, group: u64) -> Vec<u64> {
+        self.group_members
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Whether this node has completed its join.
@@ -582,10 +676,18 @@ impl<P: DhtProtocol> DhtActor<P> {
         data: bytes::Bytes,
     ) {
         if self.seen_payloads.contains_key(&payload) {
-            ctx.trace(EventKind::DuplicateSuppress { payload, hops });
+            ctx.trace(EventKind::DuplicateSuppress {
+                payload,
+                hops,
+                group: None,
+            });
             return; // duplicate
         }
-        ctx.trace(EventKind::MulticastReceive { payload, hops });
+        ctx.trace(EventKind::MulticastReceive {
+            payload,
+            hops,
+            group: None,
+        });
         self.seen_payloads.insert(payload, hops);
         self.received_log.push((payload, hops));
         self.delivered_data.insert(payload, data.clone());
@@ -612,6 +714,7 @@ impl<P: DhtProtocol> DhtActor<P> {
                     to: child.value(),
                     hops: hops + 1,
                     segment: child_region.map(|s| (s.from.value(), s.to.value())),
+                    group: None,
                 });
             }
             self.send_to_member(
@@ -627,11 +730,157 @@ impl<P: DhtProtocol> DhtActor<P> {
         }
     }
 
+    /// Handles a pub/sub membership change ([`DhtMsg::GroupSubscribe`] /
+    /// [`DhtMsg::GroupUnsubscribe`]).
+    ///
+    /// Three roles, all served by one message as it travels:
+    /// * at the subscriber itself (`member == me`) the local subscription
+    ///   flag flips — delivery filtering needs no root round-trip;
+    /// * at the group's rendezvous root the membership set is updated;
+    /// * anywhere else the message takes one greedy clockwise hop toward
+    ///   the root (the same protocol-agnostic walk JoinRequest uses, for
+    ///   the same reason: there is nowhere to carry per-protocol routing
+    ///   state).
+    fn handle_group_membership<D: DhtDriver>(
+        &mut self,
+        ctx: &mut D,
+        group: u64,
+        member: u64,
+        subscribe: bool,
+    ) {
+        if member == self.me.id.value() {
+            if subscribe {
+                self.subscriptions.insert(group);
+            } else {
+                self.subscriptions.remove(&group);
+            }
+        }
+        let key = group_root_id(self.space, group);
+        let is_root = key == self.me.id
+            || self
+                .predecessor
+                .as_ref()
+                .is_some_and(|p| self.space.in_segment(key, p.id, self.me.id));
+        if is_root {
+            if subscribe {
+                self.group_members.entry(group).or_default().insert(member);
+            } else if let Some(set) = self.group_members.get_mut(&group) {
+                set.remove(&member);
+                if set.is_empty() {
+                    self.group_members.remove(&group);
+                }
+            }
+            return;
+        }
+        let forward = if subscribe {
+            DhtMsg::GroupSubscribe { group, member }
+        } else {
+            DhtMsg::GroupUnsubscribe { group, member }
+        };
+        let Some(succ) = self.successors.first().copied() else {
+            return; // isolated: membership is lost, like any best-effort send
+        };
+        if self.space.in_segment(key, self.me.id, succ.id) {
+            self.send_to_member(ctx, succ.id, forward);
+            return;
+        }
+        let neighbors = self.neighbor_members();
+        let next = neighbors
+            .iter()
+            .chain(std::iter::once(&succ))
+            .filter(|m| self.space.in_segment(m.id, self.me.id, key))
+            .max_by_key(|m| self.space.seg_len(self.me.id, m.id))
+            .map_or(succ.id, |m| m.id);
+        let next = if next == self.me.id { succ.id } else { next };
+        self.send_to_member(ctx, next, forward);
+    }
+
+    /// Handles [`DhtMsg::GroupPublish`] — structurally `handle_multicast`
+    /// (same duplicate suppression, same region split over the shared
+    /// neighbor table: the per-group tree is implicit), except that only
+    /// subscribers deliver the payload to the application, and every trace
+    /// event carries the group.
+    fn handle_group_publish<D: DhtDriver>(
+        &mut self,
+        ctx: &mut D,
+        group: u64,
+        payload: u64,
+        region: Option<Segment>,
+        hops: u32,
+        data: bytes::Bytes,
+    ) {
+        use cam_trace::GroupId;
+        if self.seen_payloads.contains_key(&payload) {
+            ctx.trace(EventKind::DuplicateSuppress {
+                payload,
+                hops,
+                group: Some(GroupId(group)),
+            });
+            return; // duplicate
+        }
+        self.seen_payloads.insert(payload, hops);
+        self.group_of.insert(payload, group);
+        if self.subscriptions.contains(&group) {
+            ctx.trace(EventKind::MulticastReceive {
+                payload,
+                hops,
+                group: Some(GroupId(group)),
+            });
+            self.group_received_log.push((group, payload, hops));
+            self.delivered_data.insert(payload, data.clone());
+        }
+        let Some(succ) = self.successors.first().copied() else {
+            return;
+        };
+        let neighbors = self.neighbor_members();
+        let children = self
+            .protocol
+            .multicast_children(self.space, &self.me, &neighbors, &succ, region);
+        if ctx.trace_enabled() {
+            let split = children.iter().filter(|(_, r)| r.is_some()).count();
+            if split > 0 {
+                ctx.trace(EventKind::RegionSplit {
+                    payload,
+                    children: split as u32,
+                });
+            }
+        }
+        for (child, child_region) in children {
+            if ctx.trace_enabled() {
+                ctx.trace(EventKind::MulticastForward {
+                    payload,
+                    to: child.value(),
+                    hops: hops + 1,
+                    segment: child_region.map(|s| (s.from.value(), s.to.value())),
+                    group: Some(GroupId(group)),
+                });
+            }
+            self.send_to_member(
+                ctx,
+                child,
+                DhtMsg::GroupPublish {
+                    group,
+                    payload,
+                    region: child_region,
+                    hops: hops + 1,
+                    data: data.clone(),
+                },
+            );
+        }
+    }
+
     fn handle_anti_entropy_timer<D: DhtDriver>(&mut self, ctx: &mut D) {
         if self.anti_entropy {
             // Sorted so the digest is identical across runs (hash order
-            // would otherwise perturb downstream message ordering).
-            let mut have: Vec<u64> = self.seen_payloads.keys().copied().collect();
+            // would otherwise perturb downstream message ordering). Group
+            // publishes are excluded: epidemic repair through non-subscriber
+            // relays would deliver them without their group attribution.
+            let mut have: Vec<u64> = self
+                .seen_payloads
+                .keys()
+                .filter(|p| !self.group_of.contains_key(p))
+                .copied()
+                .collect();
             have.sort_unstable();
             let mut targets: Vec<Id> = Vec::new();
             if let Some(succ) = self.successors.first() {
@@ -1054,6 +1303,19 @@ impl<P: DhtProtocol> DhtActor<P> {
                     ctx.set_timer(Duration::from_millis(150), TIMER_ANTI_ENTROPY);
                 }
             }
+            DhtMsg::GroupSubscribe { group, member } => {
+                self.handle_group_membership(ctx, group, member, true)
+            }
+            DhtMsg::GroupUnsubscribe { group, member } => {
+                self.handle_group_membership(ctx, group, member, false)
+            }
+            DhtMsg::GroupPublish {
+                group,
+                payload,
+                region,
+                hops,
+                data,
+            } => self.handle_group_publish(ctx, group, payload, region, hops, data),
         }
     }
 
@@ -1412,6 +1674,103 @@ impl<P: DhtProtocol> DynamicNetwork<P> {
             },
         );
         payload
+    }
+
+    /// Subscribes the node behind `actor` to pub/sub group `group`: its
+    /// local delivery filter flips immediately (self-addressed message) and
+    /// the membership routes to the group's rendezvous root over the
+    /// overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is dead.
+    pub fn subscribe(&mut self, actor: ActorId, group: u64) {
+        let member = self
+            .sim
+            .actor(actor)
+            .expect("subscriber must be alive")
+            .member()
+            .id
+            .value();
+        self.sim
+            .post(actor, actor, DhtMsg::GroupSubscribe { group, member });
+    }
+
+    /// Removes `actor`'s subscription to `group` (routed like
+    /// [`DynamicNetwork::subscribe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actor` is dead.
+    pub fn unsubscribe(&mut self, actor: ActorId, group: u64) {
+        let member = self
+            .sim
+            .actor(actor)
+            .expect("unsubscriber must be alive")
+            .member()
+            .id
+            .value();
+        self.sim
+            .post(actor, actor, DhtMsg::GroupUnsubscribe { group, member });
+    }
+
+    /// Initiates a publish in `group` at `source` and returns the payload
+    /// id. Forwarding covers the whole ring (the per-group tree is
+    /// implicit; non-subscribers relay without delivering), exactly like
+    /// [`DynamicNetwork::start_multicast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is dead.
+    pub fn start_group_publish(
+        &mut self,
+        source: ActorId,
+        group: u64,
+        region_split: bool,
+    ) -> u64 {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let member = self
+            .sim
+            .actor(source)
+            .expect("source must be alive")
+            .member()
+            .id;
+        let region = if region_split {
+            Some(Segment::all_but(self.space, member))
+        } else {
+            None
+        };
+        self.sim.post(
+            source,
+            source,
+            DhtMsg::GroupPublish {
+                group,
+                payload,
+                region,
+                hops: 0,
+                data: bytes::Bytes::new(),
+            },
+        );
+        payload
+    }
+
+    /// Folds the given `(group, payload)` publishes into a per-group
+    /// [`GroupDeliveryCensus`] over the *subscribers* of each group: a live
+    /// subscriber counts as delivered iff the publish reached it. Dead
+    /// actors are excluded, mirroring [`DeliveryCensus`].
+    pub fn group_delivery_census(&self, publishes: &[(u64, u64)]) -> GroupDeliveryCensus {
+        let mut census = GroupDeliveryCensus::new();
+        for (_, a) in &self.actors {
+            if let Some(actor) = self.sim.actor(*a) {
+                for &(group, payload) in publishes {
+                    if actor.is_subscribed(group) {
+                        census.observe(group, true, actor.has_group_payload(group, payload));
+                    }
+                }
+            }
+        }
+        census
     }
 
     /// Fraction of live nodes that received `payload`, via the shared

@@ -707,6 +707,7 @@ mod tests {
                 ctx.trace(EventKind::MulticastReceive {
                     payload: u64::from(msg),
                     hops: 0,
+                    group: None,
                 });
                 if msg > 0 {
                     ctx.send(from, msg - 1);

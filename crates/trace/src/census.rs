@@ -67,6 +67,79 @@ impl DeliveryCensus {
     }
 }
 
+/// A [`DeliveryCensus`] per pub/sub group — the multi-group extension used
+/// by cam-pubsub and both multicast hosts.
+///
+/// Keys are raw [`crate::event::GroupId`] values; the `BTreeMap` keeps
+/// iteration (and therefore every derived report) deterministic. Equality
+/// is structural, so "same seed ⇒ bit-identical per-group census" is an
+/// `assert_eq!` away.
+///
+/// # Example
+///
+/// ```
+/// use cam_trace::GroupDeliveryCensus;
+///
+/// let mut c = GroupDeliveryCensus::new();
+/// c.observe(7, true, true);
+/// c.observe(7, true, false);
+/// c.observe(9, true, true);
+/// assert_eq!(c.ratio(7), 0.5);
+/// assert_eq!(c.ratio(9), 1.0);
+/// assert_eq!(c.ratio(8), 0.0); // never-observed group
+/// assert_eq!(c.ratios(), vec![0.5, 1.0]); // ascending group order
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupDeliveryCensus {
+    groups: std::collections::BTreeMap<u64, DeliveryCensus>,
+}
+
+impl GroupDeliveryCensus {
+    /// An empty census with no groups.
+    pub fn new() -> Self {
+        GroupDeliveryCensus::default()
+    }
+
+    /// Folds one actor observation into group `group`'s census.
+    pub fn observe(&mut self, group: u64, alive: bool, delivered: bool) {
+        self.groups
+            .entry(group)
+            .or_default()
+            .observe(alive, delivered);
+    }
+
+    /// The census for one group, if any observation mentioned it.
+    pub fn group(&self, group: u64) -> Option<&DeliveryCensus> {
+        self.groups.get(&group)
+    }
+
+    /// Delivery ratio for `group`; `0.0` for a group never observed.
+    pub fn ratio(&self, group: u64) -> f64 {
+        self.groups.get(&group).map_or(0.0, DeliveryCensus::ratio)
+    }
+
+    /// Number of groups observed.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no group was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterates `(group, census)` in ascending group order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &DeliveryCensus)> {
+        self.groups.iter().map(|(g, c)| (*g, c))
+    }
+
+    /// Per-group delivery ratios in ascending group order — the input
+    /// vector for fairness indices (Jain, Gini) over groups.
+    pub fn ratios(&self) -> Vec<f64> {
+        self.groups.values().map(DeliveryCensus::ratio).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +168,35 @@ mod tests {
             c.observe(true, true);
         }
         assert_eq!(c.ratio(), 1.0);
+    }
+
+    #[test]
+    fn group_census_is_deterministic_and_comparable() {
+        let build = || {
+            let mut c = GroupDeliveryCensus::new();
+            // Insertion order must not matter.
+            for g in [9u64, 1, 5, 1, 9] {
+                c.observe(g, true, g != 5);
+            }
+            c
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(
+            a.iter().map(|(g, _)| g).collect::<Vec<_>>(),
+            vec![1, 5, 9],
+            "iteration must be ascending by group"
+        );
+        assert_eq!(a.ratios(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn group_census_ignores_dead_actors_per_group() {
+        let mut c = GroupDeliveryCensus::new();
+        c.observe(3, false, true);
+        assert_eq!(c.ratio(3), 0.0);
+        assert_eq!(c.group(3).unwrap().live(), 0);
     }
 }

@@ -1,5 +1,26 @@
 //! The typed taxonomy of load-bearing protocol moments.
 
+/// A multicast group (pub/sub session) identifier.
+///
+/// Defined here — at the bottom of the dependency graph — so every layer
+/// (trace events, the wire protocol, the cam-pubsub service registry) can
+/// share one type without new edges; cam-pubsub re-exports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u64);
+
+impl GroupId {
+    /// The raw identifier value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
 /// One recorded event: an [`EventKind`] stamped with a clock reading and
 /// the actor it happened at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +58,9 @@ pub enum EventKind {
         /// when the protocol split its region (CAM-Chord); `None` for
         /// constrained-flooding edges (CAM-Koorde).
         segment: Option<(u64, u64)>,
+        /// The pub/sub group this payload belongs to; `None` for
+        /// single-group (session-less) multicasts.
+        group: Option<GroupId>,
     },
     /// First receipt of a payload at this actor.
     MulticastReceive {
@@ -44,6 +68,9 @@ pub enum EventKind {
         payload: u64,
         /// Hops from the source.
         hops: u32,
+        /// The pub/sub group this payload belongs to; `None` for
+        /// single-group multicasts.
+        group: Option<GroupId>,
     },
     /// A payload arrived again and was suppressed as a duplicate.
     DuplicateSuppress {
@@ -51,6 +78,9 @@ pub enum EventKind {
         payload: u64,
         /// Hop count of the suppressed (redundant) copy.
         hops: u32,
+        /// The pub/sub group this payload belongs to; `None` for
+        /// single-group multicasts.
+        group: Option<GroupId>,
     },
     /// A CAM-Chord internal node split its multicast region among
     /// children (one event per split, alongside the per-child forwards).
@@ -163,14 +193,17 @@ mod tests {
                 to: 0,
                 hops: 0,
                 segment: None,
+                group: None,
             },
             EventKind::MulticastReceive {
                 payload: 0,
                 hops: 0,
+                group: Some(GroupId(1)),
             },
             EventKind::DuplicateSuppress {
                 payload: 0,
                 hops: 0,
+                group: None,
             },
             EventKind::RegionSplit {
                 payload: 0,

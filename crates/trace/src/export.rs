@@ -59,15 +59,30 @@ fn push_args(out: &mut String, kind: &EventKind) {
             to,
             hops,
             segment,
+            group,
         } => {
             let _ = write!(out, ",\"payload\":{payload},\"to\":{to},\"hops\":{hops}");
             if let Some((lo, hi)) = segment {
                 let _ = write!(out, ",\"segment_lo\":{lo},\"segment_hi\":{hi}");
             }
+            if let Some(g) = group {
+                let _ = write!(out, ",\"group\":{}", g.value());
+            }
         }
-        EventKind::MulticastReceive { payload, hops }
-        | EventKind::DuplicateSuppress { payload, hops } => {
+        EventKind::MulticastReceive {
+            payload,
+            hops,
+            group,
+        }
+        | EventKind::DuplicateSuppress {
+            payload,
+            hops,
+            group,
+        } => {
             let _ = write!(out, ",\"payload\":{payload},\"hops\":{hops}");
+            if let Some(g) = group {
+                let _ = write!(out, ",\"group\":{}", g.value());
+            }
         }
         EventKind::RegionSplit { payload, children } => {
             let _ = write!(out, ",\"payload\":{payload},\"children\":{children}");
@@ -119,9 +134,20 @@ pub fn text_report(tracer: &RecordingTracer) -> String {
     );
 
     let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    // Multicast traffic (forward/receive/suppress) attributed per pub/sub
+    // group; the `None` key collects single-group (session-less) events.
+    let mut by_group: BTreeMap<Option<u64>, u64> = BTreeMap::new();
     let mut span = (u64::MAX, 0u64);
     for ev in tracer.events() {
         *by_kind.entry(ev.kind.name()).or_insert(0) += 1;
+        match &ev.kind {
+            EventKind::MulticastForward { group, .. }
+            | EventKind::MulticastReceive { group, .. }
+            | EventKind::DuplicateSuppress { group, .. } => {
+                *by_group.entry(group.map(|g| g.value())).or_insert(0) += 1;
+            }
+            _ => {}
+        }
         span.0 = span.0.min(ev.at_micros);
         span.1 = span.1.max(ev.at_micros);
     }
@@ -132,6 +158,20 @@ pub fn text_report(tracer: &RecordingTracer) -> String {
         out.push_str("events by kind:\n");
         for (name, n) in &by_kind {
             let _ = writeln!(out, "  {name:<20} {n}");
+        }
+    }
+    // Only worth a section when at least one event was group-attributed.
+    if by_group.keys().any(Option::is_some) {
+        out.push_str("multicast events by group:\n");
+        for (group, n) in &by_group {
+            match group {
+                Some(g) => {
+                    let _ = writeln!(out, "  group {g:<14} {n}");
+                }
+                None => {
+                    let _ = writeln!(out, "  (ungrouped)      {n}");
+                }
+            }
         }
     }
 
@@ -179,6 +219,7 @@ mod tests {
                 to: 9,
                 hops: 1,
                 segment: Some((10, 99)),
+                group: None,
             },
         );
         t.record(
@@ -187,6 +228,7 @@ mod tests {
             EventKind::MulticastReceive {
                 payload: 1,
                 hops: 1,
+                group: Some(crate::event::GroupId(42)),
             },
         );
         t.record(
@@ -195,6 +237,7 @@ mod tests {
             EventKind::DuplicateSuppress {
                 payload: 1,
                 hops: 3,
+                group: None,
             },
         );
         t.record(
@@ -255,6 +298,33 @@ mod tests {
         assert!(report.contains("live_nodes"));
         assert!(report.contains("hops"));
         assert!(report.contains("time span: 0 us .. 200 us"));
+    }
+
+    #[test]
+    fn group_attribution_reaches_both_exporters() {
+        let json = sample().chrome_trace_json();
+        assert!(json.contains("\"group\":42"));
+        let report = sample().text_report();
+        assert!(report.contains("multicast events by group:"));
+        assert!(report.contains("group 42"));
+        assert!(report.contains("(ungrouped)"));
+    }
+
+    #[test]
+    fn ungrouped_runs_omit_the_group_section() {
+        let mut t = RecordingTracer::with_capacity(8);
+        t.record(
+            1,
+            0,
+            EventKind::MulticastReceive {
+                payload: 1,
+                hops: 1,
+                group: None,
+            },
+        );
+        let report = t.text_report();
+        assert!(!report.contains("multicast events by group:"));
+        assert!(!t.chrome_trace_json().contains("\"group\""));
     }
 
     #[test]

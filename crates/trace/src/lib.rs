@@ -46,8 +46,8 @@
 //! use cam_trace::{EventKind, RecordingTracer, Tracer};
 //!
 //! let mut t = RecordingTracer::with_capacity(128);
-//! t.record(10, 3, EventKind::MulticastReceive { payload: 7, hops: 2 });
-//! t.record(15, 3, EventKind::DuplicateSuppress { payload: 7, hops: 4 });
+//! t.record(10, 3, EventKind::MulticastReceive { payload: 7, hops: 2, group: None });
+//! t.record(15, 3, EventKind::DuplicateSuppress { payload: 7, hops: 4, group: None });
 //! t.counter_add("frames_decoded", 2);
 //! assert_eq!(t.len(), 2);
 //! assert_eq!(t.count("duplicate_suppress"), 1);
@@ -61,8 +61,8 @@ pub mod histogram;
 pub mod registry;
 pub mod tracer;
 
-pub use census::DeliveryCensus;
-pub use event::{EventKind, TraceEvent};
+pub use census::{DeliveryCensus, GroupDeliveryCensus};
+pub use event::{EventKind, GroupId, TraceEvent};
 pub use histogram::{Histogram, Summary};
 pub use registry::TelemetryRegistry;
 pub use tracer::{NopTracer, RecordingTracer, Tracer};

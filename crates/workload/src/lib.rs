@@ -11,10 +11,14 @@
 //! deterministically generates the group for a seed.
 //!
 //! [`churn`] generates Poisson join/leave traces for the dynamic
-//! (resilience) experiments.
+//! (resilience) experiments; [`multigroup`] generates deterministic
+//! multi-group pub/sub operation sequences (Zipf popularity, flash
+//! crowds, hotspots, subscription churn).
 
 pub mod churn;
+pub mod multigroup;
 pub mod scenario;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnTrace};
+pub use multigroup::{GroupOp, MultiGroupScenario};
 pub use scenario::{BandwidthDist, CapacityAssignment, Scenario};

@@ -1,0 +1,297 @@
+//! Multi-group pub/sub workloads: deterministic operation sequences that
+//! drive a group registry (or a live overlay's subscribe/publish API)
+//! from one seed.
+//!
+//! Real multicast deployments host many groups whose popularity is
+//! heavily skewed — a few channels attract most subscribers (Zipf), and
+//! interest can arrive in bursts (flash crowds) or churn continuously.
+//! Each generator here emits a flat [`GroupOp`] sequence so the sim,
+//! wire, and registry hosts can replay *identical* workloads and be
+//! compared census-for-census.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One pub/sub service operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupOp {
+    /// Register a new, empty group.
+    Create {
+        /// Group id.
+        group: u64,
+    },
+    /// Node `node` subscribes to `group`.
+    Subscribe {
+        /// Group id.
+        group: u64,
+        /// Universe index of the subscriber.
+        node: usize,
+    },
+    /// Node `node` drops its subscription to `group`.
+    Unsubscribe {
+        /// Group id.
+        group: u64,
+        /// Universe index of the subscriber.
+        node: usize,
+    },
+    /// Publish one payload in `group` (from its canonical source).
+    Publish {
+        /// Group id.
+        group: u64,
+    },
+}
+
+/// Configuration for multi-group workload generation.
+///
+/// Group ids run `1..=n_groups`; popularity rank equals id, so group 1
+/// is the hottest under the Zipf draw.
+///
+/// # Example
+///
+/// ```
+/// use cam_workload::{GroupOp, MultiGroupScenario};
+///
+/// let w = MultiGroupScenario::new(100, 8, 42);
+/// let ops = w.zipf_subscriptions(400);
+/// // Deterministic: the same seed replays the same sequence.
+/// assert_eq!(ops, MultiGroupScenario::new(100, 8, 42).zipf_subscriptions(400));
+/// assert!(ops.iter().any(|op| matches!(op, GroupOp::Publish { .. })));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiGroupScenario {
+    /// Number of nodes in the shared universe.
+    pub n_nodes: usize,
+    /// Number of groups.
+    pub n_groups: usize,
+    /// Zipf exponent for group popularity (1.0 is the classic web
+    /// measurement; 0 makes every group equally popular).
+    pub zipf_s: f64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl MultiGroupScenario {
+    /// A scenario with the classic Zipf exponent `s = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` or `n_groups` is zero.
+    pub fn new(n_nodes: usize, n_groups: usize, seed: u64) -> Self {
+        assert!(n_nodes > 0, "empty universe");
+        assert!(n_groups > 0, "no groups");
+        MultiGroupScenario {
+            n_nodes,
+            n_groups,
+            zipf_s: 1.0,
+            seed,
+        }
+    }
+
+    /// Returns the scenario with a different Zipf exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid Zipf exponent {s}");
+        self.zipf_s = s;
+        self
+    }
+
+    /// Cumulative Zipf weights over ranks `1..=n_groups`.
+    fn zipf_cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(self.n_groups);
+        for rank in 1..=self.n_groups {
+            acc += 1.0 / (rank as f64).powf(self.zipf_s);
+            cdf.push(acc);
+        }
+        cdf
+    }
+
+    /// Draws one group id (rank-as-id) from the Zipf distribution.
+    fn draw_group(cdf: &[f64], rng: &mut impl Rng) -> u64 {
+        let total = *cdf.last().expect("n_groups > 0");
+        let u: f64 = rng.gen::<f64>() * total;
+        let rank = cdf.partition_point(|&c| c < u);
+        (rank.min(cdf.len() - 1) + 1) as u64
+    }
+
+    /// Zipf-popular subscription workload: create every group, draw
+    /// `subscriptions` (group, node) pairs with Zipf-skewed group choice
+    /// and uniform node choice, then publish once in each group
+    /// (ascending id). Repeat draws of the same pair are kept — the
+    /// registry treats them as idempotent re-subscriptions.
+    pub fn zipf_subscriptions(&self, subscriptions: usize) -> Vec<GroupOp> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let cdf = self.zipf_cdf();
+        let mut ops = Vec::with_capacity(self.n_groups * 2 + subscriptions);
+        for g in 1..=self.n_groups as u64 {
+            ops.push(GroupOp::Create { group: g });
+        }
+        for _ in 0..subscriptions {
+            ops.push(GroupOp::Subscribe {
+                group: Self::draw_group(&cdf, &mut rng),
+                node: rng.gen_range(0..self.n_nodes),
+            });
+        }
+        for g in 1..=self.n_groups as u64 {
+            ops.push(GroupOp::Publish { group: g });
+        }
+        ops
+    }
+
+    /// Flash-crowd workload: one group, `joiners` distinct nodes all
+    /// subscribing in one burst, then a single publish — the worst case
+    /// for admission control because every subscription rebuilds a
+    /// rapidly growing tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joiners > n_nodes`.
+    pub fn flash_crowd(&self, group: u64, joiners: usize) -> Vec<GroupOp> {
+        assert!(joiners <= self.n_nodes, "more joiners than nodes");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut nodes: Vec<usize> = (0..self.n_nodes).collect();
+        nodes.shuffle(&mut rng);
+        let mut ops = vec![GroupOp::Create { group }];
+        ops.extend(
+            nodes[..joiners]
+                .iter()
+                .map(|&node| GroupOp::Subscribe { group, node }),
+        );
+        ops.push(GroupOp::Publish { group });
+        ops
+    }
+
+    /// Hotspot workload: one group with `subscribers` distinct members
+    /// and `publishes` back-to-back publishes from its canonical source —
+    /// the single-source streaming pattern the paper's evaluation uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscribers > n_nodes`.
+    pub fn hotspot(&self, group: u64, subscribers: usize, publishes: usize) -> Vec<GroupOp> {
+        let mut ops = self.flash_crowd(group, subscribers);
+        ops.pop(); // the burst's single publish
+        ops.extend((0..publishes).map(|_| GroupOp::Publish { group }));
+        ops
+    }
+
+    /// Subscription-churn workload: create every group, seed each with
+    /// Zipf-sized membership, then run `events` of interleaved churn —
+    /// 50% subscribe, 30% unsubscribe, 20% publish, with Zipf-skewed
+    /// group choice throughout.
+    pub fn subscription_churn(&self, seed_subscriptions: usize, events: usize) -> Vec<GroupOp> {
+        let mut ops = self.zipf_subscriptions(seed_subscriptions);
+        let cdf = self.zipf_cdf();
+        // Continue the stream deterministically, decoupled from the seed
+        // phase's draw count.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0xC4A9_5EBA_11C0_FFEE);
+        for _ in 0..events {
+            let group = Self::draw_group(&cdf, &mut rng);
+            let node = rng.gen_range(0..self.n_nodes);
+            let roll: f64 = rng.gen();
+            ops.push(if roll < 0.5 {
+                GroupOp::Subscribe { group, node }
+            } else if roll < 0.8 {
+                GroupOp::Unsubscribe { group, node }
+            } else {
+                GroupOp::Publish { group }
+            });
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identical_sequences() {
+        let a = MultiGroupScenario::new(500, 20, 7);
+        let b = MultiGroupScenario::new(500, 20, 7);
+        assert_eq!(a.zipf_subscriptions(1000), b.zipf_subscriptions(1000));
+        assert_eq!(a.flash_crowd(3, 200), b.flash_crowd(3, 200));
+        assert_eq!(a.hotspot(3, 100, 50), b.hotspot(3, 100, 50));
+        assert_eq!(
+            a.subscription_churn(300, 300),
+            b.subscription_churn(300, 300)
+        );
+        let c = MultiGroupScenario::new(500, 20, 8);
+        assert_ne!(a.zipf_subscriptions(1000), c.zipf_subscriptions(1000));
+    }
+
+    #[test]
+    fn zipf_skews_subscriptions_toward_low_ranks() {
+        let w = MultiGroupScenario::new(1000, 50, 11);
+        let ops = w.zipf_subscriptions(20_000);
+        let mut per_group = vec![0usize; 51];
+        for op in &ops {
+            if let GroupOp::Subscribe { group, .. } = op {
+                per_group[*group as usize] += 1;
+            }
+        }
+        // Rank 1 clearly beats rank 50 and roughly doubles rank 2.
+        assert!(per_group[1] > 10 * per_group[50]);
+        assert!(per_group[1] > per_group[2] * 3 / 2);
+        // Every op addresses a valid group and node.
+        for op in &ops {
+            match *op {
+                GroupOp::Create { group } | GroupOp::Publish { group } => {
+                    assert!((1..=50).contains(&group))
+                }
+                GroupOp::Subscribe { group, node } | GroupOp::Unsubscribe { group, node } => {
+                    assert!((1..=50).contains(&group));
+                    assert!(node < 1000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_joins_are_distinct() {
+        let ops = MultiGroupScenario::new(300, 1, 5).flash_crowd(9, 250);
+        let mut nodes: Vec<usize> = ops
+            .iter()
+            .filter_map(|op| match op {
+                GroupOp::Subscribe { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nodes.len(), 250);
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 250, "no node joins twice");
+        assert_eq!(ops[0], GroupOp::Create { group: 9 });
+        assert_eq!(*ops.last().unwrap(), GroupOp::Publish { group: 9 });
+    }
+
+    #[test]
+    fn hotspot_repeats_publishes() {
+        let ops = MultiGroupScenario::new(100, 1, 2).hotspot(4, 30, 25);
+        let publishes = ops
+            .iter()
+            .filter(|op| matches!(op, GroupOp::Publish { .. }))
+            .count();
+        assert_eq!(publishes, 25);
+    }
+
+    #[test]
+    fn churn_mixes_all_operation_kinds() {
+        let ops = MultiGroupScenario::new(200, 10, 3).subscription_churn(100, 2000);
+        let unsubs = ops
+            .iter()
+            .filter(|op| matches!(op, GroupOp::Unsubscribe { .. }))
+            .count();
+        let pubs = ops
+            .iter()
+            .filter(|op| matches!(op, GroupOp::Publish { .. }))
+            .count();
+        // ~600 unsubscribes and ~400+10 publishes expected; loose bounds.
+        assert!((300..900).contains(&unsubs), "unsubs {unsubs}");
+        assert!((200..700).contains(&pubs), "pubs {pubs}");
+    }
+}

@@ -52,6 +52,7 @@ pub use cam_core as core;
 pub use cam_metrics as metrics;
 pub use cam_net as net;
 pub use cam_overlay as overlay;
+pub use cam_pubsub as pubsub;
 pub use cam_ring as ring;
 pub use cam_sim as sim;
 pub use cam_trace as trace;

@@ -1,0 +1,184 @@
+//! Multi-group pub/sub end-to-end: the sim and wire hosts replay the same
+//! seeded workload and must produce *bit-identical* per-group delivery
+//! censuses; the service-layer registry scales the global capacity bound
+//! to 1,000 groups over a 10,000-node universe.
+
+use bytes::Bytes;
+use cam::net::runtime::{Cluster, RetransmitPolicy};
+use cam::net::transport::InMemoryTransport;
+use cam::overlay::dynamic::DynamicNetwork;
+use cam::prelude::*;
+use cam::pubsub::GroupRegistry;
+use cam::sim::time::Duration;
+use cam::sim::LatencyModel;
+use cam::trace::GroupDeliveryCensus;
+use cam::workload::{GroupOp, MultiGroupScenario};
+
+const N: usize = 32;
+const SEED: u64 = 91;
+
+fn members() -> Vec<Member> {
+    Scenario::paper_default(SEED)
+        .with_n(N)
+        .members()
+        .iter()
+        .collect()
+}
+
+/// One seeded Zipf workload, replayed on the event-sim host and the wire
+/// host: subscriptions land on the same members, publishes traverse each
+/// host's own transport, and the per-group censuses come out equal —
+/// field for field, group for group.
+#[test]
+fn sim_and_wire_hosts_agree_on_per_group_census() {
+    let members = members();
+    let mut ring_order = members.clone();
+    ring_order.sort_by_key(|m| m.id);
+
+    let mut net = DynamicNetwork::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        LatencyModel::default_wan(),
+    );
+    let mut cluster = Cluster::converged(
+        IdSpace::PAPER,
+        &members,
+        CamChordProtocol,
+        SEED,
+        InMemoryTransport::new(N, SEED, LatencyModel::default_wan()),
+        RetransmitPolicy::default(),
+    );
+
+    // Cluster node order is ring order; resolve the same identity on the
+    // sim host by member id.
+    let sim_actor = |net: &DynamicNetwork<CamChordProtocol>, node: usize| {
+        net.actors()
+            .iter()
+            .find(|(m, _)| m.id == ring_order[node].id)
+            .expect("member exists on both hosts")
+            .1
+    };
+
+    let ops = MultiGroupScenario::new(N, 8, SEED).zipf_subscriptions(96);
+    let mut groups: Vec<u64> = Vec::new();
+    let mut subscribers: std::collections::BTreeMap<u64, std::collections::BTreeSet<usize>> =
+        std::collections::BTreeMap::new();
+    for op in &ops {
+        match *op {
+            GroupOp::Create { group } => groups.push(group),
+            GroupOp::Subscribe { group, node } => {
+                net.subscribe(sim_actor(&net, node), group);
+                cluster.subscribe(node, group);
+                subscribers.entry(group).or_default().insert(node);
+            }
+            GroupOp::Unsubscribe { group, node } => {
+                net.unsubscribe(sim_actor(&net, node), group);
+                cluster.unsubscribe(node, group);
+                subscribers.entry(group).or_default().remove(&node);
+            }
+            GroupOp::Publish { .. } => {}
+        }
+    }
+    // Let the subscription control traffic reach every rendezvous root.
+    net.sim.run_until(net.sim.now() + Duration::from_secs(5));
+    cluster.run_for(Duration::from_secs(5));
+
+    // One publish per group, from the same node-0 source on both hosts.
+    let mut sim_pubs: Vec<(u64, u64)> = Vec::new();
+    let mut wire_pubs: Vec<(u64, u64)> = Vec::new();
+    for &g in &groups {
+        let src = sim_actor(&net, 0);
+        sim_pubs.push((g, net.start_group_publish(src, g, true)));
+        wire_pubs.push((g, cluster.start_group_publish(0, g, true, Bytes::new())));
+    }
+    net.sim.run_until(net.sim.now() + Duration::from_secs(10));
+    cluster.run_for(Duration::from_secs(10));
+
+    let sim_census = net.group_delivery_census(&sim_pubs);
+    let wire_census = cluster.group_delivery_census(&wire_pubs);
+
+    // Every subscribed group fully delivered on both hosts (a group the
+    // Zipf tail left empty is observed by nobody), and the censuses are
+    // structurally identical — same groups, same live counts, same
+    // delivered counts.
+    let populated: Vec<u64> = subscribers
+        .iter()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(&g, _)| g)
+        .collect();
+    assert!(populated.len() >= 4, "workload too sparse to mean anything");
+    for &g in &populated {
+        assert_eq!(sim_census.ratio(g), 1.0, "sim group {g} incomplete");
+        assert_eq!(
+            sim_census.group(g).expect("observed").live(),
+            subscribers[&g].len() as u64,
+            "group {g} census covers exactly its subscribers"
+        );
+    }
+    assert_eq!(sim_census, wire_census);
+    assert_eq!(sim_census.len(), populated.len());
+}
+
+/// Acceptance smoke: 1,000 groups over a 10,000-node universe through the
+/// service-layer registry. Every group the registry holds publishes to
+/// 100% of its subscribers, and no node's aggregate child count across
+/// all 1,000 trees exceeds its declared capacity.
+///
+/// Release-mode only (`cargo test --release --test pubsub_multigroup --
+/// --ignored pubsub_smoke`); the CI `pubsub-smoke` job runs exactly that.
+#[test]
+#[ignore = "release-scale smoke; run explicitly"]
+fn pubsub_smoke_thousand_groups_ten_thousand_nodes() {
+    let members: Vec<Member> = Scenario::paper_default(SEED)
+        .with_n(10_000)
+        .members()
+        .iter()
+        .collect();
+    let universe = MemberSet::new(IdSpace::PAPER, members).expect("scenario members are valid");
+    let mut reg = GroupRegistry::new(universe);
+
+    let ops = MultiGroupScenario::new(10_000, 1_000, SEED).zipf_subscriptions(25_000);
+    let mut census = GroupDeliveryCensus::new();
+    let mut publishes = 0usize;
+    for op in ops {
+        match op {
+            GroupOp::Create { group } => reg.create_group(group).expect("fresh id"),
+            GroupOp::Subscribe { group, node } => {
+                // A rejection leaves the group consistent; the census
+                // below still must read 1.0 over the admitted members.
+                let _ = reg.subscribe(group, node);
+            }
+            GroupOp::Unsubscribe { group, node } => {
+                let _ = reg.unsubscribe(group, node);
+            }
+            GroupOp::Publish { group } => {
+                reg.publish_census(group, &mut census)
+                    .expect("group exists");
+                publishes += 1;
+            }
+        }
+    }
+
+    assert_eq!(publishes, 1_000);
+    // The Zipf tail leaves a handful of groups empty (an empty group's
+    // publish observes nobody); the overwhelming majority must appear.
+    assert!(
+        census.len() > 900,
+        "only {} of 1000 groups populated",
+        census.len()
+    );
+    for (g, c) in census.iter() {
+        assert_eq!(
+            c.ratio(),
+            1.0,
+            "group {g}: {}/{} subscribers reached",
+            c.delivered(),
+            c.live()
+        );
+    }
+    // The global bound: summed over all 1,000 trees, nobody forwards to
+    // more children than its declared capacity.
+    reg.ledger().verify().expect("no node overcommitted");
+}
