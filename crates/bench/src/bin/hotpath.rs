@@ -263,6 +263,9 @@ struct ScaleRow {
     mean_throughput_kbps: f64,
     events: u64,
     events_per_sec: f64,
+    mt_threads: usize,
+    mt_events_per_sec: f64,
+    mt_speedup: f64,
     mem: MemReading,
 }
 
@@ -310,6 +313,35 @@ fn bench_scale(n: usize, bits: u32, sources: usize) -> ScaleRow {
     let events = sim.stats().delivered;
     assert_eq!(events, tokens as u64 * u64::from(hops + 1));
 
+    // The same token workload through the multi-threaded engine mode
+    // (crates/sim/src/mt.rs): constant latency makes every round a
+    // `tokens`-wide same-instant batch, the MT mode's best case. One
+    // worker per queue shard (K = 8), capped by the hardware. Parity with
+    // the serial run is asserted, not assumed.
+    let mt_threads = rss::hardware_threads().clamp(1, 8);
+    let mut mt_sim: Simulation<TokenActor> =
+        Simulation::new(9, LatencyModel::Constant(Duration::from_micros(100)));
+    for i in 0..n {
+        mt_sim.add_actor(TokenActor {
+            next: ActorId((i + 1) % n),
+            received: 0,
+        });
+    }
+    let t0 = Instant::now();
+    for t in 0..tokens {
+        let start = ids[(t * 997) % n];
+        mt_sim.post(start, start, hops);
+    }
+    mt_sim.run_to_completion_mt(mt_threads);
+    let mt_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(mt_sim.stats(), sim.stats(), "MT run diverged from serial");
+    for (i, &id) in ids.iter().enumerate() {
+        debug_assert_eq!(
+            mt_sim.actor(id).map(|a| a.received),
+            sim.actor(ids[i]).map(|a| a.received),
+        );
+    }
+
     let row = ScaleRow {
         n,
         bits,
@@ -319,14 +351,20 @@ fn bench_scale(n: usize, bits: u32, sources: usize) -> ScaleRow {
         mean_throughput_kbps,
         events,
         events_per_sec: events as f64 / sim_seconds,
+        mt_threads,
+        mt_events_per_sec: events as f64 / mt_seconds,
+        mt_speedup: sim_seconds / mt_seconds,
         mem: rss::read_memory(),
     };
     eprintln!(
-        "scale             n={:>7}: build {:.1}s, {:.2} trees/s streaming, {:.2} Mevents/s, peak RSS {} MB",
+        "scale             n={:>7}: build {:.1}s, {:.2} trees/s streaming, {:.2} Mevents/s serial, {:.2} Mevents/s mt×{} ({:.2}x), peak RSS {} MB",
         row.n,
         row.build_seconds,
         row.stream_trees_per_sec,
         row.events_per_sec / 1e6,
+        row.mt_events_per_sec / 1e6,
+        row.mt_threads,
+        row.mt_speedup,
         row.mem
             .peak_rss_mb
             .map(|m| format!("{m:.0}"))
@@ -634,7 +672,7 @@ fn main() {
     json.push_str("  \"scale\": [\n");
     for (i, r) in scale.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"n\": {}, \"bits\": {}, \"sources\": {}, \"build_seconds\": {}, \"stream_trees_per_sec\": {}, \"mean_throughput_kbps\": {}, \"events\": {}, \"events_per_sec\": {}, \"rss_mb\": {}, \"peak_rss_mb\": {}}}{}\n",
+            "    {{\"n\": {}, \"bits\": {}, \"sources\": {}, \"build_seconds\": {}, \"stream_trees_per_sec\": {}, \"mean_throughput_kbps\": {}, \"events\": {}, \"events_per_sec\": {}, \"mt_threads\": {}, \"mt_events_per_sec\": {}, \"mt_speedup\": {}, \"rss_mb\": {}, \"peak_rss_mb\": {}}}{}\n",
             r.n,
             r.bits,
             r.sources,
@@ -643,6 +681,9 @@ fn main() {
             num(r.mean_throughput_kbps),
             r.events,
             num(r.events_per_sec),
+            r.mt_threads,
+            num(r.mt_events_per_sec),
+            num(r.mt_speedup),
             mem_num(r.mem.rss_mb),
             mem_num(r.mem.peak_rss_mb),
             if i + 1 < scale.len() { "," } else { "" }

@@ -1,0 +1,262 @@
+//! Baseline comparison: `cam-lint --baseline <json>` fails only on *new*
+//! findings.
+//!
+//! A hard gate on "zero findings" makes the first adopter of a new rule
+//! fix the whole backlog at once; a baseline makes CI failures actionable
+//! diffs instead. The committed artifact is cam-lint's own `--json`
+//! output; this module parses it back (with a minimal JSON reader — the
+//! crate stays dependency-free) and subtracts it, as a multiset keyed on
+//! `(file, rule, message)`, from the current findings. Line numbers are
+//! deliberately ignored: unrelated edits move findings around without
+//! changing what they say.
+
+use crate::rules::Finding;
+
+/// One baselined entry: `(file, rule name, message)`.
+pub type BaselineKey = (String, String, String);
+
+/// Parses cam-lint `--json` output back into baseline keys.
+///
+/// Accepts exactly the shape [`crate::to_json`] emits — an array of flat
+/// objects with string/number fields — and tolerates field order changes
+/// and unknown fields. Returns an error message on anything else.
+pub fn parse_baseline(src: &str) -> Result<Vec<BaselineKey>, String> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        at: 0,
+    };
+    p.skip_ws();
+    let entries = p.array()?;
+    p.skip_ws();
+    if p.at != p.chars.len() {
+        return Err(format!("trailing data at offset {}", p.at));
+    }
+    Ok(entries)
+}
+
+/// The findings in `current` that are not accounted for by `baseline`
+/// (multiset subtraction on `(file, rule, message)`).
+pub fn new_findings<'a>(current: &'a [Finding], baseline: &[BaselineKey]) -> Vec<&'a Finding> {
+    let mut budget: Vec<(&BaselineKey, usize)> = Vec::new();
+    for k in baseline {
+        match budget.iter_mut().find(|(b, _)| *b == k) {
+            Some((_, n)) => *n += 1,
+            None => budget.push((k, 1)),
+        }
+    }
+    let mut out = Vec::new();
+    for f in current {
+        let covered = budget.iter_mut().find(|((file, rule, msg), n)| {
+            *n > 0 && *file == f.file && *rule == f.rule.name() && *msg == f.message
+        });
+        match covered {
+            Some((_, n)) => *n -= 1,
+            None => out.push(f),
+        }
+    }
+    out
+}
+
+/// A minimal JSON reader for the fixed baseline shape.
+struct Parser {
+    chars: Vec<char>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.at,
+                self.peek()
+            ))
+        }
+    }
+
+    fn array(&mut self) -> Result<Vec<BaselineKey>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.at += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.object()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.at += 1,
+                Some(']') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<BaselineKey, String> {
+        self.expect('{')?;
+        let (mut file, mut rule, mut message) = (None, None, None);
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.at += 1;
+        } else {
+            loop {
+                let key = self.string()?;
+                self.expect(':')?;
+                self.skip_ws();
+                match self.peek() {
+                    Some('"') => {
+                        let v = self.string()?;
+                        match key.as_str() {
+                            "file" => file = Some(v),
+                            "rule" => rule = Some(v),
+                            "message" => message = Some(v),
+                            _ => {}
+                        }
+                    }
+                    Some(c) if c.is_ascii_digit() || c == '-' => {
+                        while self
+                            .peek()
+                            .is_some_and(|c| c.is_ascii_digit() || "+-.eE".contains(c))
+                        {
+                            self.at += 1;
+                        }
+                    }
+                    other => return Err(format!("unsupported value start {other:?}")),
+                }
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => self.at += 1,
+                    Some('}') => {
+                        self.at += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+        }
+        match (file, rule, message) {
+            (Some(f), Some(r), Some(m)) => Ok((f, r, m)),
+            _ => Err("baseline entry is missing file/rule/message".to_string()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.at += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex: String = self.chars.iter().skip(self.at).take(4).collect();
+                            if hex.len() != 4 {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.at += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.at += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+    use crate::to_json;
+
+    fn finding(file: &str, rule: Rule, msg: &str) -> Finding {
+        Finding::new(file, 0, 7, rule, msg.to_string())
+    }
+
+    #[test]
+    fn roundtrips_own_json_output() {
+        let fs = vec![
+            finding("a.rs", Rule::Determinism, "say \"hi\"\nand\tmore"),
+            finding("b.rs", Rule::ThreadSharedState, "plain"),
+        ];
+        let keys = parse_baseline(&to_json(&fs)).expect("parse own output");
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].0, "a.rs");
+        assert_eq!(keys[0].1, "determinism");
+        assert_eq!(keys[0].2, "say \"hi\"\nand\tmore");
+        assert_eq!(keys[1].1, "thread_shared_state");
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert!(parse_baseline("[]").expect("empty array").is_empty());
+        assert!(parse_baseline(" [\n] ").expect("whitespace").is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("[{\"file\": \"x\"}]").is_err());
+        assert!(parse_baseline("[] trailing").is_err());
+    }
+
+    #[test]
+    fn subtraction_is_a_multiset_ignoring_lines() {
+        let current = vec![
+            finding("a.rs", Rule::Determinism, "same"),
+            finding("a.rs", Rule::Determinism, "same"),
+            finding("a.rs", Rule::PanicSafety, "fresh"),
+        ];
+        // One baselined copy of "same" (at a different line) absorbs one
+        // current copy; the second copy and the fresh finding are new.
+        let baseline = vec![(
+            "a.rs".to_string(),
+            "determinism".to_string(),
+            "same".to_string(),
+        )];
+        let new = new_findings(&current, &baseline);
+        assert_eq!(new.len(), 2);
+        assert!(new.iter().any(|f| f.message == "same"));
+        assert!(new.iter().any(|f| f.message == "fresh"));
+    }
+}

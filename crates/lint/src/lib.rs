@@ -4,22 +4,30 @@
 //! `cam-lint`: protocol-invariant static analysis for the CAM workspace.
 //!
 //! The paper's evaluation is reproducible only if every run with a fixed
-//! seed yields a bit-identical timeline, and a deployed node survives only
-//! if hostile or lossy wire input can never panic it. Both properties are
+//! seed yields a bit-identical timeline, a deployed node survives only if
+//! hostile or lossy wire input can never panic it, and the multi-threaded
+//! sharded event loop is honest only if no spawn closure can smuggle
+//! shared mutable state past the merge discipline. All of these are
 //! invariants of the *source*, not of any particular test run — so this
 //! crate checks them statically, from scratch (no syn, no rustc
-//! internals): a small comment/string/attribute-aware lexer
-//! ([`lexer`]) feeds a rule engine ([`rules`]) scoped by a fixed
-//! workspace policy ([`engine`]).
+//! internals): a small comment/string/attribute-aware lexer ([`lexer`])
+//! feeds an item/expression-level recovery parser ([`parser`]), a
+//! cross-file symbol table and call graph ([`symbols`]), and a rule
+//! engine ([`rules`], [`concurrency`]) scoped by a fixed workspace
+//! policy ([`engine`]).
 //!
 //! The rules:
 //!
 //! | rule | scope | invariant |
 //! |------|-------|-----------|
-//! | `determinism` | `core`, `overlay`, `sim`, `net` | no hash-order iteration, wall-clock time, or ambient entropy in protocol code |
+//! | `determinism` | `src/` of `core`, `overlay`, `sim`, `net`, `trace`, `chaos`, `pubsub` | no hash-order iteration, wall-clock time, or ambient entropy in protocol code |
 //! | `panic_safety` | `net` | no `unwrap`/`expect`/`panic!`-family/slice-index in non-test wire & runtime code |
 //! | `wire_exhaustive` | cross-file | every `DhtMsg` variant has encode, decode, size, and round-trip-test coverage |
 //! | `unsafe_code` | every library crate | `#![forbid(unsafe_code)]` at the crate root |
+//! | `thread_shared_state` | `src/` of `core`, `sim`, `overlay`, `bench`, `experiments` | spawn closures route captured mutable state through an approved channel: disjoint `&mut` partitions (`iter_mut`/`split_at_mut`), atomics, channels, locks, or owned scratch moved into the closure |
+//! | `lock_discipline` | cross-file | `Mutex`/`RwLock` acquisition order is globally consistent; no guard is held across an agent-visible protocol callback |
+//! | `ledger_encapsulation` | every crate but `pubsub` | `CapacityLedger` state changes only through `commit`/`release`/`rebalance` — never raw field writes |
+//! | `shard_merge_purity` | cross-file | functions reachable from `ShardedEventQueue` pop-order code read no ambient state (wall clock, OS entropy) |
 //! | `suppression` | everywhere | every suppression carries a reason and suppresses something |
 //!
 //! Findings can be silenced inline — with a mandatory justification:
@@ -30,11 +38,17 @@
 //!
 //! Run it with `cargo run -p cam-lint` (add `--json` for machine-readable
 //! output); the process exits nonzero if any finding survives
-//! suppression, which is what CI gates on.
+//! suppression, which is what CI gates on. With `--baseline <json>` (a
+//! committed copy of earlier `--json` output, see [`baseline`]) only
+//! *new* findings fail the run.
 
+pub mod baseline;
+pub mod concurrency;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 pub use engine::{find_workspace_root, lint_tree};
 pub use rules::{Finding, Rule};

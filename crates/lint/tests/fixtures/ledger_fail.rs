@@ -1,0 +1,11 @@
+//! Failing fixture for `ledger_encapsulation`: raw field writes and
+//! in-place collection mutation bypass `commit`/`release`/`rebalance`,
+//! silently desynchronizing the chaos fingerprint and census parity.
+
+use cam_pubsub::CapacityLedger;
+
+pub fn audit(ledger: &mut CapacityLedger) {
+    ledger.charged = 5;
+    ledger.headroom -= 1;
+    ledger.per_group.insert(1, 2);
+}

@@ -1,0 +1,18 @@
+//! Passing fixture for `ledger_encapsulation`: consumers outside
+//! `pubsub` may call any `CapacityLedger` method and may read fields,
+//! but never write them.
+
+use cam_pubsub::CapacityLedger;
+
+pub fn settle(ledger: &mut CapacityLedger, group: u64) -> bool {
+    let spare = ledger.headroom(group);
+    if spare == 0 {
+        ledger.rebalance();
+    }
+    ledger.commit(group, 1)
+}
+
+pub fn snapshot(ledger: &CapacityLedger) -> u64 {
+    let total = ledger.charged;
+    total
+}

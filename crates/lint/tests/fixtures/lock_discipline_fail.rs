@@ -1,0 +1,42 @@
+//! Failing fixture for `lock_discipline`: `forward` acquires `admit`
+//! then `routes` while `backward` nests them the other way round
+//! (schedule-dependent deadlock), and `deliver` runs a protocol
+//! callback with the `routes` guard still held.
+
+use std::sync::Mutex;
+
+pub struct Agent;
+
+impl Agent {
+    pub fn on_message(&mut self, _from: u64, _msg: u64) {}
+}
+
+pub struct Router {
+    admit: Mutex<u64>,
+    routes: Mutex<Vec<u64>>,
+}
+
+impl Router {
+    pub fn forward(&self) -> u64 {
+        let quota = self.admit.lock().unwrap();
+        let table = self.routes.lock().unwrap();
+        let n = *quota + table.len() as u64;
+        drop(table);
+        drop(quota);
+        n
+    }
+
+    pub fn backward(&self) -> u64 {
+        let table = self.routes.lock().unwrap();
+        let quota = self.admit.lock().unwrap();
+        let n = *quota + table.len() as u64;
+        drop(quota);
+        drop(table);
+        n
+    }
+
+    pub fn deliver(&self, agent: &mut Agent) {
+        let table = self.routes.lock().unwrap();
+        agent.on_message(table.first().copied().unwrap_or(0), 7);
+    }
+}

@@ -1,0 +1,42 @@
+//! Passing fixture for `lock_discipline`: both paths acquire `admit`
+//! before `routes` (one global order), and the guard is dropped before
+//! the protocol callback runs.
+
+use std::sync::Mutex;
+
+pub struct Agent;
+
+impl Agent {
+    pub fn on_message(&mut self, _from: u64, _msg: u64) {}
+}
+
+pub struct Router {
+    admit: Mutex<u64>,
+    routes: Mutex<Vec<u64>>,
+}
+
+impl Router {
+    pub fn forward(&self) -> u64 {
+        let quota = self.admit.lock().unwrap();
+        let table = self.routes.lock().unwrap();
+        let n = *quota + table.len() as u64;
+        drop(table);
+        drop(quota);
+        n
+    }
+
+    pub fn audit(&self) -> usize {
+        let quota = self.admit.lock().unwrap();
+        let held = *quota;
+        drop(quota);
+        let table = self.routes.lock().unwrap();
+        table.len() + held as usize
+    }
+
+    pub fn deliver(&self, agent: &mut Agent) {
+        let table = self.routes.lock().unwrap();
+        let next = table.first().copied().unwrap_or(0);
+        drop(table);
+        agent.on_message(next, 7);
+    }
+}

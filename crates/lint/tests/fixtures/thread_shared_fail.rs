@@ -1,0 +1,25 @@
+//! Failing fixture for `thread_shared_state`: three spawn closures each
+//! capture mutable state with no approved channel — a `let mut` local
+//! shared by reference, a `RefCell` (interior mutability is not `Sync`
+//! discipline), and a `static mut` global.
+
+use std::cell::RefCell;
+
+static mut HITS: u64 = 0;
+
+pub fn tally(vals: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let cell = RefCell::new(0u64);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            total += 1;
+        });
+        s.spawn(|| {
+            *cell.borrow_mut() += 1;
+        });
+        s.spawn(|| unsafe {
+            HITS += 1;
+        });
+    });
+    total + vals.len() as u64
+}

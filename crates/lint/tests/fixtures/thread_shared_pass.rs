@@ -1,0 +1,78 @@
+//! Passing fixture for `thread_shared_state`: every spawn routes its
+//! captures through an approved channel — an atomic work-stealing
+//! cursor with mpsc result delivery, a disjoint `&mut` partition built
+//! with `iter_mut`, a rolling `split_at_mut` cursor, and owned scratch
+//! moved wholesale into the closure.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+
+/// Atomic cursor + channel: the only shared word is the `AtomicUsize`.
+pub fn pooled_sum(inputs: &[u64], workers: usize) -> u64 {
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = channel::<u64>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let _ = tx.send(inputs[i]);
+            });
+        }
+    });
+    drop(tx);
+    rx.iter().sum()
+}
+
+/// Disjoint `&mut` partition: each worker owns the slots pushed into
+/// its part, so the captured `part` is a fresh per-iteration value.
+pub fn partitioned_double(vals: &mut [u64], workers: usize) {
+    let mut parts: Vec<Vec<&mut u64>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, v) in vals.iter_mut().enumerate() {
+        parts[i % workers].push(v);
+    }
+    std::thread::scope(|s| {
+        for part in parts.into_iter() {
+            s.spawn(move || {
+                for slot in part {
+                    *slot *= 2;
+                }
+            });
+        }
+    });
+}
+
+/// Rolling `split_at_mut` cursor: `rest` is `mut`, but every value it
+/// ever holds comes from a disjoint split of the previous cursor.
+pub fn chunked_fill(data: &mut [u64], workers: usize) {
+    let step = (data.len() / workers.max(1)).max(1);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        while rest.len() > step {
+            let (head, tail) = rest.split_at_mut(step);
+            s.spawn(move || head.iter_mut().for_each(|x| *x += 1));
+            rest = tail;
+        }
+        s.spawn(move || rest.iter_mut().for_each(|x| *x += 1));
+    });
+}
+
+/// Owned scratch moved into the closure: the spawned thread builds its
+/// own buffer and hands it back through the join handle.
+pub fn scratch_logs(n: usize) -> usize {
+    let mut buf: Vec<usize> = Vec::new();
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || {
+            let mut local: Vec<usize> = Vec::new();
+            for i in 0..n {
+                local.push(i);
+            }
+            local
+        });
+        buf = handle.join().unwrap_or_default();
+    });
+    buf.len()
+}

@@ -111,3 +111,30 @@ fn new_variant_without_codec_arms_fails_the_tree() {
         .all(|f| f.message.contains("DhtMsg::CamLintProbe")));
     fs::remove_dir_all(&dst).ok();
 }
+
+#[test]
+fn injected_mutable_capture_in_shard_code_fails_the_tree() {
+    let dst = fresh_copy("thread");
+    let path = dst.join("crates/sim/src/shard.rs");
+    let mut src = fs::read_to_string(&path).expect("read shard.rs");
+    // The exact regression the MT engine must never grow: a spawn closure
+    // accumulating into a `let mut` captured by reference.
+    src.push_str(
+        "\npub fn cam_lint_probe(vals: &[u64]) -> u64 {\n    \
+         let mut total = 0u64;\n    \
+         std::thread::scope(|s| {\n        \
+         s.spawn(|| {\n            \
+         for v in vals.iter() {\n                total += *v;\n            }\n        \
+         });\n    });\n    total\n}\n",
+    );
+    fs::write(&path, src).expect("write mutation");
+    let findings = lint_tree(&dst).expect("lint succeeds");
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::ThreadSharedState
+            && f.file.ends_with("shard.rs")
+            && f.message.contains("`total`")),
+        "a mutable capture in a spawn closure must be flagged; got:\n{}",
+        render(&findings)
+    );
+    fs::remove_dir_all(&dst).ok();
+}

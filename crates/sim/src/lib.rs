@@ -50,6 +50,7 @@
 pub mod bandwidth;
 pub mod engine;
 pub mod latency;
+pub mod mt;
 pub mod rng;
 pub mod shard;
 pub mod time;

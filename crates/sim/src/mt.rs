@@ -1,0 +1,839 @@
+//! Multi-threaded engine mode: parallel handler execution inside the
+//! merge-deterministic safety window, bit-identical to the serial engine.
+//!
+//! # The safety window
+//!
+//! The serial engine pops events in the global `(at, seq)` order (see
+//! [`crate::shard`]). Two observations make a parallel schedule possible
+//! without giving that order up:
+//!
+//! 1. **Handler state is per-actor.** `on_message`/`on_timer` touch only
+//!    the receiving actor's state, so two events addressed to *different*
+//!    actors can run in any order — or concurrently — as long as each
+//!    actor still sees *its own* events in `(at, seq)` order.
+//! 2. **Generated events land in the future.** Every send or timer an
+//!    event at time `t` produces is scheduled at `t + delay ≥ t` with a
+//!    sequence number larger than every event already queued. With a
+//!    zero-width window (the default), a *batch* is exactly the set of
+//!    pending events tied at `t_min`; nothing a batch generates can land
+//!    before or inside the batch ahead of its own sequence position, so
+//!    executing the batch out of order across actors is unobservable.
+//!
+//! A nonzero lookahead `L` ([`Simulation::set_mt_lookahead`]) widens the
+//! batch to `[t_min, t_min + L]`, which is sound only if every generated
+//! event lands strictly *beyond* the window (e.g. the latency model's
+//! minimum delay exceeds `L`). The commit phase asserts this instead of
+//! trusting the caller: a violation panics rather than silently diverging
+//! from the serial order.
+//!
+//! # Parallel execute, serial commit
+//!
+//! The run is a sequence of rounds. Each round:
+//!
+//! 1. **Dispatch** — the coordinator finds `t_min` across the per-worker
+//!    heaps (it caches each worker's head key) and tells every worker with
+//!    work inside the window to execute it. Worker `w` owns the actors
+//!    `i ≡ w (mod threads)` as a disjoint `&mut` partition (built from
+//!    `iter_mut`, so the partition is safe Rust — the crate root keeps
+//!    `#![forbid(unsafe_code)]`), plus its own event heap and slab.
+//! 2. **Execute** — workers pop their window events in local `(at, seq)`
+//!    order and run handlers, recording per event the sends, timers, and
+//!    trace calls the handler made. Handlers cannot touch the global RNG
+//!    here ([`Context::rng`] panics in worker mode) and trace into a
+//!    per-event buffer, so nothing schedule-dependent escapes a worker.
+//! 3. **Commit** — the coordinator k-way-merges the workers' record lists
+//!    back into the global `(at, seq)` order and replays the side effects
+//!    exactly as the serial loop would have: statistics, tracer calls,
+//!    loss/latency draws from the one global [`SimRng`], and sequence
+//!    numbers are all consumed in the serial order. New events are routed
+//!    back to their destination worker's heap.
+//!
+//! Because every schedule-dependent effect (RNG, `seq`, tracer, stats) is
+//! applied in the serial order by one thread, and per-actor execution
+//! order is preserved by construction, the end state — actors, clock,
+//! counters, trace stream, and pending-event set — is bit-identical to
+//! the serial engine's. `crates/sim/src/mt.rs` tests and the tsan CI job
+//! hold the implementation to that claim; cam-lint's `thread_shared_state`
+//! and `shard_merge_purity` rules audit it statically.
+//!
+//! # When to use it
+//!
+//! Rounds cost a few channel round-trips, so the mode pays off when many
+//! events share an instant (wide fan-out, lockstep protocol rounds,
+//! constant-latency stress workloads) and the per-event handler work
+//! outweighs the coordination. For sparse schedules — e.g. a single
+//! ping-pong chain — the serial engine is faster; both produce the same
+//! results, so the choice is purely a performance knob.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use cam_trace::{EventKind, Tracer};
+
+use crate::engine::{Actor, ActorId, Context, Event, Payload, Simulation};
+use crate::shard::EventKey;
+use crate::time::{Duration, SimTime};
+
+/// A queued event in transit between the coordinator and a worker,
+/// carrying its already-assigned global sequence number.
+struct PendingEvent<M> {
+    at: SimTime,
+    seq: u64,
+    to: ActorId,
+    payload: Payload<M>,
+}
+
+/// Coordinator → worker commands.
+enum Cmd<M> {
+    /// Pop and execute every local event with `at <= upto`.
+    Execute { upto: SimTime },
+    /// Insert freshly committed events, then report the new heap head.
+    Insert { items: Vec<PendingEvent<M>> },
+    /// Drain the remaining local events back and exit.
+    Finish,
+}
+
+/// Worker → coordinator replies (one per command, in command order).
+enum Resp<M> {
+    Executed(Vec<ExecRecord<M>>),
+    Head(Option<(SimTime, u64)>),
+    Final(Vec<PendingEvent<M>>),
+}
+
+/// What happened to one executed event, in the terms the serial loop's
+/// statistics distinguish.
+enum Outcome {
+    /// A message reached a live actor (`bytes` per the wire-cost fn).
+    Delivered { bytes: u64 },
+    /// A timer fired on a live actor.
+    Timer,
+    /// A message addressed to a dead (or never-registered) actor.
+    DeadMessage,
+    /// A timer on a dead actor: counted as an event, nothing else.
+    DeadTimer,
+}
+
+/// One executed event plus everything its handler tried to do; the
+/// coordinator replays these in global `(at, seq)` order.
+struct ExecRecord<M> {
+    at: SimTime,
+    seq: u64,
+    outcome: Outcome,
+    sends: Vec<(ActorId, ActorId, M, Option<Duration>)>,
+    timers: Vec<(ActorId, Duration, u64)>,
+    traces: Vec<(u64, u64, EventKind)>,
+}
+
+/// Per-event trace buffer handed to worker-side handlers; the recorded
+/// calls are replayed into the real tracer at commit, in serial order.
+struct BufTracer {
+    on: bool,
+    buf: Vec<(u64, u64, EventKind)>,
+}
+
+impl Tracer for BufTracer {
+    fn enabled(&self) -> bool {
+        self.on
+    }
+    fn record(&mut self, at_micros: u64, actor: u64, kind: EventKind) {
+        if self.on {
+            self.buf.push((at_micros, actor, kind));
+        }
+    }
+}
+
+/// One worker's world: a disjoint slice of the actor table plus its own
+/// event heap and slab. `actors[i]` is the slot of global actor
+/// `i * stride + id`, so lookup for destination `to` is `to.0 / stride`.
+struct Worker<'env, A: Actor> {
+    actors: Vec<&'env mut Option<A>>,
+    stride: usize,
+    heap: BinaryHeap<Reverse<EventKey>>,
+    slab: Vec<Option<(ActorId, Payload<A::Msg>)>>,
+    free: Vec<usize>,
+    trace_on: bool,
+    wire_cost: Option<fn(&A::Msg) -> usize>,
+}
+
+impl<'env, A: Actor> Worker<'env, A> {
+    fn new(
+        actors: Vec<&'env mut Option<A>>,
+        stride: usize,
+        initial: Vec<PendingEvent<A::Msg>>,
+        trace_on: bool,
+        wire_cost: Option<fn(&A::Msg) -> usize>,
+    ) -> Self {
+        let mut w = Worker {
+            actors,
+            stride,
+            heap: BinaryHeap::with_capacity(initial.len()),
+            slab: Vec::with_capacity(initial.len()),
+            free: Vec::new(),
+            trace_on,
+            wire_cost,
+        };
+        w.insert(initial);
+        w
+    }
+
+    fn insert(&mut self, items: Vec<PendingEvent<A::Msg>>) {
+        for item in items {
+            let entry = Some((item.to, item.payload));
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slab[s] = entry;
+                    s
+                }
+                None => {
+                    self.slab.push(entry);
+                    self.slab.len() - 1
+                }
+            };
+            self.heap.push(Reverse(EventKey {
+                at: item.at,
+                seq: item.seq,
+                slot,
+            }));
+        }
+    }
+
+    fn head(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|&Reverse(k)| (k.at, k.seq))
+    }
+
+    /// Pops and executes every local event with `at <= upto`, in local
+    /// `(at, seq)` order (which is this worker's slice of the global
+    /// order — per-actor order is exactly preserved).
+    fn execute(&mut self, upto: SimTime) -> Vec<ExecRecord<A::Msg>> {
+        let mut records = Vec::new();
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            if key.at > upto {
+                break;
+            }
+            self.heap.pop();
+            let (to, payload) = self.slab[key.slot].take().expect("event slot occupied");
+            self.free.push(key.slot);
+
+            let mut sends = Vec::new();
+            let mut timers = Vec::new();
+            let mut tracer = BufTracer {
+                on: self.trace_on,
+                buf: Vec::new(),
+            };
+            let live = self
+                .actors
+                .get_mut(to.0 / self.stride)
+                .and_then(|slot| slot.as_mut());
+            let outcome = match live {
+                None => match payload {
+                    Payload::Message { .. } => Outcome::DeadMessage,
+                    Payload::Timer { .. } => Outcome::DeadTimer,
+                },
+                Some(actor) => {
+                    let mut ctx = Context {
+                        now: key.at,
+                        me: to,
+                        outbox: &mut sends,
+                        timers: &mut timers,
+                        rng: None,
+                        tracer: &mut tracer,
+                    };
+                    match payload {
+                        Payload::Message { from, msg } => {
+                            let bytes = self.wire_cost.map_or(0, |cost| cost(&msg) as u64);
+                            actor.on_message(&mut ctx, from, msg);
+                            Outcome::Delivered { bytes }
+                        }
+                        Payload::Timer { tag } => {
+                            actor.on_timer(&mut ctx, tag);
+                            Outcome::Timer
+                        }
+                    }
+                }
+            };
+            records.push(ExecRecord {
+                at: key.at,
+                seq: key.seq,
+                outcome,
+                sends,
+                timers,
+                traces: tracer.buf,
+            });
+        }
+        records
+    }
+
+    /// Hands every still-queued event back to the coordinator.
+    fn drain(&mut self) -> Vec<PendingEvent<A::Msg>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(key)) = self.heap.pop() {
+            let (to, payload) = self.slab[key.slot].take().expect("event slot occupied");
+            out.push(PendingEvent {
+                at: key.at,
+                seq: key.seq,
+                to,
+                payload,
+            });
+        }
+        out
+    }
+}
+
+/// Receives worker `w`'s reply; if the worker died instead (a handler
+/// panicked), joins it and re-raises the *worker's* panic payload so the
+/// real failure — not a broken-channel error — reaches the caller.
+fn recv_resp<'scope, M>(
+    rx: &Receiver<Resp<M>>,
+    handle: &mut Option<std::thread::ScopedJoinHandle<'scope, ()>>,
+    w: usize,
+) -> Resp<M> {
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => match handle.take().map(|h| h.join()) {
+            Some(Err(payload)) => std::panic::resume_unwind(payload),
+            _ => panic!("mt worker {w} exited unexpectedly"),
+        },
+    }
+}
+
+/// A worker thread's command loop. Replies are ignored on send failure:
+/// that only happens while the coordinator is already unwinding.
+fn worker_loop<A: Actor>(
+    mut worker: Worker<'_, A>,
+    cmds: Receiver<Cmd<A::Msg>>,
+    replies: Sender<Resp<A::Msg>>,
+) {
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            Cmd::Execute { upto } => {
+                let _ = replies.send(Resp::Executed(worker.execute(upto)));
+            }
+            Cmd::Insert { items } => {
+                worker.insert(items);
+                let _ = replies.send(Resp::Head(worker.head()));
+            }
+            Cmd::Finish => {
+                let _ = replies.send(Resp::Final(worker.drain()));
+                break;
+            }
+        }
+    }
+}
+
+impl<A: Actor> Simulation<A>
+where
+    A: Send,
+    A::Msg: Send,
+{
+    /// [`Simulation::run_until`], executing each safety-window batch on
+    /// `threads` worker threads. Bit-identical to the serial run; see the
+    /// [module docs](self) for the argument and the (panic-enforced)
+    /// restrictions on handlers.
+    pub fn run_until_mt(&mut self, deadline: SimTime, threads: usize) -> u64 {
+        self.run_inner_mt(Some(deadline), u64::MAX, threads)
+    }
+
+    /// [`Simulation::run_to_completion`] on `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 100 million events (the serial backstop), if a handler
+    /// calls [`Context::rng`], or if a nonzero lookahead window is
+    /// violated by a generated event.
+    pub fn run_to_completion_mt(&mut self, threads: usize) -> u64 {
+        self.run_inner_mt(None, 100_000_000, threads)
+    }
+
+    fn run_inner_mt(
+        &mut self,
+        deadline: Option<SimTime>,
+        max_events: u64,
+        threads: usize,
+    ) -> u64 {
+        let nworkers = threads.max(1);
+        if self.queue.is_empty() {
+            return 0;
+        }
+
+        // Move the pending-event set out of the global queue/slab and
+        // route each event to the worker owning its destination. The
+        // global pop order makes every per-worker list `(at, seq)`-sorted,
+        // so each list's first entry is that worker's heap head.
+        let mut initial: Vec<Vec<PendingEvent<A::Msg>>> =
+            (0..nworkers).map(|_| Vec::new()).collect();
+        let mut heads: Vec<Option<(SimTime, u64)>> = vec![None; nworkers];
+        while let Some(key) = self.queue.pop() {
+            let ev = self.events[key.slot].take().expect("event slot occupied");
+            let w = ev.to.0 % nworkers;
+            if heads[w].is_none() {
+                heads[w] = Some((key.at, key.seq));
+            }
+            initial[w].push(PendingEvent {
+                at: key.at,
+                seq: key.seq,
+                to: ev.to,
+                payload: ev.payload,
+            });
+        }
+        self.events.clear();
+        self.free_slots.clear();
+
+        // Disjoint field borrows: workers get the actor table, the
+        // coordinator keeps everything schedule-dependent.
+        let Simulation {
+            actors,
+            now,
+            seq,
+            latency,
+            rng,
+            stats,
+            loss_probability,
+            blocked,
+            wire_cost,
+            tracer,
+            mt_lookahead,
+            ..
+        } = self;
+
+        // Partition the actor table into disjoint per-worker `&mut` sets:
+        // worker `w` owns actors `i ≡ w (mod nworkers)`.
+        let mut parts: Vec<Vec<&mut Option<A>>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (i, slot) in actors.iter_mut().enumerate() {
+            parts[i % nworkers].push(slot);
+        }
+
+        let trace_on = tracer.enabled();
+        let lookahead = *mt_lookahead;
+        let mut processed = 0u64;
+        let mut remaining: Vec<PendingEvent<A::Msg>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut cmd_tx: Vec<Sender<Cmd<A::Msg>>> = Vec::with_capacity(nworkers);
+            let mut resp_rx: Vec<Receiver<Resp<A::Msg>>> = Vec::with_capacity(nworkers);
+            let mut handles = Vec::with_capacity(nworkers);
+            for (part, init) in parts.into_iter().zip(initial) {
+                let (ctx_tx, ctx_rx) = channel::<Cmd<A::Msg>>();
+                let (rep_tx, rep_rx) = channel::<Resp<A::Msg>>();
+                cmd_tx.push(ctx_tx);
+                resp_rx.push(rep_rx);
+                let wire = *wire_cost;
+                handles.push(Some(scope.spawn(move || {
+                    worker_loop(
+                        Worker::new(part, nworkers, init, trace_on, wire),
+                        ctx_rx,
+                        rep_tx,
+                    );
+                })));
+            }
+
+            let mut outgoing: Vec<Vec<PendingEvent<A::Msg>>> =
+                (0..nworkers).map(|_| Vec::new()).collect();
+            // The next batch starts at the minimum head across workers.
+            while let Some(&(t_min, _)) = heads.iter().flatten().min() {
+                if deadline.is_some_and(|d| t_min > d) {
+                    break;
+                }
+                let mut window_end = t_min + lookahead;
+                if let Some(d) = deadline {
+                    if window_end > d {
+                        window_end = d;
+                    }
+                }
+
+                let involved: Vec<usize> = (0..nworkers)
+                    .filter(|&w| heads[w].is_some_and(|(at, _)| at <= window_end))
+                    .collect();
+                for &w in &involved {
+                    // A failed send means the worker died; the matching
+                    // recv below joins it and re-raises its panic.
+                    let _ = cmd_tx[w].send(Cmd::Execute { upto: window_end });
+                }
+                let mut streams = Vec::with_capacity(involved.len());
+                for &w in &involved {
+                    match recv_resp(&resp_rx[w], &mut handles[w], w) {
+                        Resp::Executed(records) => streams.push(records.into_iter().peekable()),
+                        _ => unreachable!("execute is answered by Executed"),
+                    }
+                }
+
+                // Serial commit: k-way merge the per-worker record lists
+                // back into the global (at, seq) order and replay side
+                // effects exactly as the serial loop would.
+                loop {
+                    let mut best: Option<(SimTime, u64, usize)> = None;
+                    for (i, s) in streams.iter_mut().enumerate() {
+                        if let Some(r) = s.peek() {
+                            if best.is_none_or(|(at, sq, _)| (r.at, r.seq) < (at, sq)) {
+                                best = Some((r.at, r.seq, i));
+                            }
+                        }
+                    }
+                    let Some((_, _, i)) = best else {
+                        break;
+                    };
+                    let rec = streams[i].next().expect("peeked");
+                    debug_assert!(rec.at >= *now, "event from the past");
+                    *now = rec.at;
+                    processed += 1;
+                    stats.events += 1;
+                    assert!(
+                        processed <= max_events,
+                        "simulation exceeded {max_events} events — runaway protocol?"
+                    );
+                    match rec.outcome {
+                        Outcome::Delivered { bytes } => {
+                            stats.delivered += 1;
+                            stats.bytes_received += bytes;
+                        }
+                        Outcome::Timer => stats.timers += 1,
+                        Outcome::DeadMessage => stats.dropped += 1,
+                        Outcome::DeadTimer => {}
+                    }
+                    for (at_micros, actor, kind) in rec.traces {
+                        tracer.record(at_micros, actor, kind);
+                    }
+                    for (from, to, msg, explicit) in rec.sends {
+                        stats.sent += 1;
+                        if let Some(cost) = *wire_cost {
+                            stats.bytes_sent += cost(&msg) as u64;
+                        }
+                        if !blocked.is_empty() && blocked.contains(&(from.0, to.0)) {
+                            stats.dropped += 1;
+                            continue;
+                        }
+                        if *loss_probability > 0.0 && rng.unit() < *loss_probability {
+                            stats.dropped += 1;
+                            continue;
+                        }
+                        let delay = match explicit {
+                            Some(d) => d,
+                            None => latency.sample(from.0, to.0, rng),
+                        };
+                        let at = *now + delay;
+                        assert!(
+                            lookahead == Duration::ZERO || at > window_end,
+                            "mt lookahead violated: a send scheduled at {at:?} lands \
+                             inside the already-executed window ending at {window_end:?}; \
+                             shrink the lookahead below the minimum message delay"
+                        );
+                        let s = *seq;
+                        *seq += 1;
+                        outgoing[to.0 % nworkers].push(PendingEvent {
+                            at,
+                            seq: s,
+                            to,
+                            payload: Payload::Message { from, msg },
+                        });
+                    }
+                    for (to, delay, tag) in rec.timers {
+                        let at = *now + delay;
+                        assert!(
+                            lookahead == Duration::ZERO || at > window_end,
+                            "mt lookahead violated: a timer scheduled at {at:?} lands \
+                             inside the already-executed window ending at {window_end:?}; \
+                             shrink the lookahead below the minimum timer delay"
+                        );
+                        let s = *seq;
+                        *seq += 1;
+                        outgoing[to.0 % nworkers].push(PendingEvent {
+                            at,
+                            seq: s,
+                            to,
+                            payload: Payload::Timer { tag },
+                        });
+                    }
+                }
+
+                // Route committed events back and refresh changed heads.
+                let touched: Vec<usize> = (0..nworkers)
+                    .filter(|&w| involved.contains(&w) || !outgoing[w].is_empty())
+                    .collect();
+                for &w in &touched {
+                    let _ = cmd_tx[w].send(Cmd::Insert {
+                        items: std::mem::take(&mut outgoing[w]),
+                    });
+                }
+                for &w in &touched {
+                    match recv_resp(&resp_rx[w], &mut handles[w], w) {
+                        Resp::Head(h) => heads[w] = h,
+                        _ => unreachable!("insert is answered by Head"),
+                    }
+                }
+            }
+
+            for tx in &cmd_tx {
+                let _ = tx.send(Cmd::Finish);
+            }
+            for (w, rx) in resp_rx.iter().enumerate() {
+                match recv_resp(rx, &mut handles[w], w) {
+                    Resp::Final(events) => remaining.extend(events),
+                    _ => unreachable!("finish is answered by Final"),
+                }
+            }
+        });
+
+        // Reassemble the global queue/slab so serial runs (or another MT
+        // run) can pick up seamlessly. Sorting gives a canonical slab
+        // layout; pop order is `(at, seq)` either way.
+        remaining.sort_by_key(|p| (p.at, p.seq));
+        for p in remaining {
+            let slot = self.events.len();
+            self.events.push(Some(Event {
+                at: p.at,
+                to: p.to,
+                payload: p.payload,
+            }));
+            self.queue.push(
+                p.to.0,
+                EventKey {
+                    at: p.at,
+                    seq: p.seq,
+                    slot,
+                },
+            );
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimStats;
+    use crate::latency::LatencyModel;
+    use cam_trace::RecordingTracer;
+
+    /// A deliberately effectful actor: fans a token out to several peers,
+    /// re-arms a timer, and traces every delivery — so parity covers
+    /// sends, timers, traces, loss, partitions, and byte accounting.
+    struct Gossip {
+        peers: Vec<ActorId>,
+        received: u64,
+        timer_fired: u64,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Actor for Gossip {
+        type Msg = u32;
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ActorId, msg: u32) {
+            self.received += 1;
+            self.log.push((ctx.now().micros(), msg));
+            if ctx.trace_enabled() {
+                ctx.trace(EventKind::MulticastReceive {
+                    payload: u64::from(msg),
+                    hops: 0,
+                    group: None,
+                });
+            }
+            if msg > 0 {
+                let next = self.peers[(from.0 + msg as usize) % self.peers.len()];
+                ctx.send(next, msg - 1);
+                if msg.is_multiple_of(5) {
+                    ctx.set_timer(Duration::from_millis(3), u64::from(msg));
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32>, tag: u64) {
+            self.timer_fired += tag;
+            if tag > 10 {
+                ctx.send(self.peers[tag as usize % self.peers.len()], 2);
+            }
+        }
+    }
+
+    fn build(n: usize, seed: u64, latency: LatencyModel) -> Simulation<Gossip> {
+        let mut sim = Simulation::new(seed, latency);
+        let peers: Vec<ActorId> = (0..n).map(ActorId).collect();
+        for _ in 0..n {
+            sim.add_actor(Gossip {
+                peers: peers.clone(),
+                received: 0,
+                timer_fired: 0,
+                log: Vec::new(),
+            });
+        }
+        sim.set_wire_cost(|m| 4 + *m as usize);
+        sim.set_loss_probability(0.05);
+        sim.set_tracer(Box::new(RecordingTracer::with_capacity(1 << 14)));
+        sim.set_link_blocked(ActorId(1), ActorId(2), true);
+        for i in 0..n {
+            sim.post(peers[i], peers[(i * 7 + 1) % n], 20 + (i % 13) as u32);
+        }
+        sim
+    }
+
+    /// Everything observable about a finished run, for exact comparison.
+    #[allow(clippy::type_complexity)]
+    fn fingerprint(
+        sim: &Simulation<Gossip>,
+    ) -> (
+        SimTime,
+        SimStats,
+        Vec<(u64, u64, Vec<(u64, u32)>)>,
+        Vec<(u64, u64)>,
+    ) {
+        let actors: Vec<_> = (0..sim.actor_count())
+            .map(|i| {
+                let a = sim.actor(ActorId(i)).expect("alive");
+                (a.received, a.timer_fired, a.log.clone())
+            })
+            .collect();
+        let traces: Vec<(u64, u64)> = sim
+            .tracer()
+            .as_recording()
+            .expect("recording tracer")
+            .events()
+            .map(|e| (e.at_micros, e.actor))
+            .collect();
+        (sim.now(), sim.stats(), actors, traces)
+    }
+
+    /// The tentpole's acceptance bar: the MT engine is bit-identical to
+    /// the serial engine — same clock, counters, per-actor state and
+    /// message logs, and the same trace stream — at every thread count.
+    #[test]
+    fn mt_engine_bit_identical_to_serial_at_every_thread_count() {
+        let latency = LatencyModel::Constant(Duration::from_millis(10));
+        let mut reference = build(24, 42, latency.clone());
+        reference.run_to_completion();
+        let want = fingerprint(&reference);
+        assert!(want.1.delivered > 100, "workload must be substantial");
+        assert!(want.1.dropped > 0, "loss and the partition must bite");
+        assert!(want.3.len() > 50, "trace stream must be substantial");
+
+        for threads in [1, 2, 4, 8] {
+            let mut sim = build(24, 42, latency.clone());
+            let n = sim.run_to_completion_mt(threads);
+            assert_eq!(n, want.1.events, "threads={threads}");
+            assert_eq!(fingerprint(&sim), want, "threads={threads}");
+        }
+    }
+
+    /// Jittered latency consumes the RNG per message; the serial-commit
+    /// phase must replay those draws in exactly the serial order.
+    #[test]
+    fn mt_parity_holds_under_jittered_latency() {
+        let latency = LatencyModel::Uniform {
+            min: Duration::from_millis(2),
+            max: Duration::from_millis(30),
+        };
+        let mut reference = build(17, 7, latency.clone());
+        reference.run_to_completion();
+        let want = fingerprint(&reference);
+        for threads in [2, 4, 8] {
+            let mut sim = build(17, 7, latency.clone());
+            sim.run_to_completion_mt(threads);
+            assert_eq!(fingerprint(&sim), want, "threads={threads}");
+        }
+    }
+
+    /// Stopping an MT run at a deadline must leave the engine in a state
+    /// a *serial* run can resume from — the reassembled queue, slab, and
+    /// sequence counter carry the pending events across the mode switch.
+    #[test]
+    fn mt_run_until_resumes_serially_with_identical_results() {
+        let latency = LatencyModel::Constant(Duration::from_millis(10));
+        let mut reference = build(12, 3, latency.clone());
+        reference.run_to_completion();
+        let want = fingerprint(&reference);
+
+        for threads in [1, 3, 8] {
+            let mut sim = build(12, 3, latency.clone());
+            let cut = SimTime::ZERO + Duration::from_millis(45);
+            let a = sim.run_until_mt(cut, threads);
+            assert!(sim.now() <= cut);
+            assert!(
+                sim.pending_message_count() > 0,
+                "the cut must land mid-flight for the resume to mean anything"
+            );
+            let b = sim.run_to_completion();
+            assert_eq!(a + b, want.1.events, "threads={threads}");
+            assert_eq!(fingerprint(&sim), want, "threads={threads}");
+        }
+    }
+
+    /// And the reverse hand-off: serial first, MT to finish.
+    #[test]
+    fn serial_run_until_resumes_under_mt_with_identical_results() {
+        let latency = LatencyModel::Constant(Duration::from_millis(10));
+        let mut reference = build(12, 3, latency.clone());
+        reference.run_to_completion();
+        let want = fingerprint(&reference);
+
+        let mut sim = build(12, 3, latency.clone());
+        sim.run_until(SimTime::ZERO + Duration::from_millis(45));
+        sim.run_to_completion_mt(4);
+        assert_eq!(fingerprint(&sim), want);
+    }
+
+    /// Killed actors drop their traffic identically in both modes.
+    #[test]
+    fn mt_parity_with_dead_actors() {
+        let latency = LatencyModel::Constant(Duration::from_millis(5));
+        let run = |threads: Option<usize>| {
+            let mut sim = build(10, 11, latency.clone());
+            sim.kill(ActorId(3));
+            sim.kill(ActorId(7));
+            match threads {
+                None => sim.run_to_completion(),
+                Some(t) => sim.run_to_completion_mt(t),
+            };
+            (sim.now(), sim.stats())
+        };
+        let want = run(None);
+        assert!(want.1.dropped > 0);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(run(Some(threads)), want, "threads={threads}");
+        }
+    }
+
+    /// A sound nonzero lookahead — strictly below every delay in play
+    /// (4ms minimum latency, 3ms timers) — keeps parity; the window just
+    /// gets wider than a single instant.
+    #[test]
+    fn mt_lookahead_below_min_delay_keeps_parity() {
+        let latency = LatencyModel::Uniform {
+            min: Duration::from_millis(4),
+            max: Duration::from_millis(20),
+        };
+        let mut reference = build(15, 9, latency.clone());
+        reference.run_to_completion();
+        let want = fingerprint(&reference);
+        for threads in [2, 8] {
+            let mut sim = build(15, 9, latency.clone());
+            sim.set_mt_lookahead(Duration::from_millis(2));
+            sim.run_to_completion_mt(threads);
+            assert_eq!(fingerprint(&sim), want, "threads={threads}");
+        }
+    }
+
+    /// An unsound lookahead (≥ the delay in play) must abort loudly, not
+    /// silently diverge from the serial order.
+    #[test]
+    #[should_panic(expected = "mt lookahead violated")]
+    fn mt_lookahead_violation_panics() {
+        let mut sim = build(8, 5, LatencyModel::Constant(Duration::from_millis(10)));
+        sim.set_mt_lookahead(Duration::from_millis(10));
+        sim.run_to_completion_mt(4);
+    }
+
+    /// Handlers must not consume the global random stream from a worker.
+    #[test]
+    #[should_panic(expected = "ctx.rng() is not available in multi-threaded engine mode")]
+    fn mt_ctx_rng_panics() {
+        struct Dicey;
+        impl Actor for Dicey {
+            type Msg = ();
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, _: ActorId, _: ()) {
+                let _ = ctx.rng().unit();
+            }
+        }
+        let mut sim: Simulation<Dicey> =
+            Simulation::new(1, LatencyModel::Constant(Duration::from_millis(1)));
+        let a = sim.add_actor(Dicey);
+        let b = sim.add_actor(Dicey);
+        sim.post(a, b, ());
+        sim.run_to_completion_mt(2);
+    }
+}
