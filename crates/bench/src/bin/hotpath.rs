@@ -26,6 +26,12 @@
 //! admitted subscribe rebuilds that group's tree against the residual
 //! capacity ledger) and publishes/second over the frozen trees.
 //!
+//! And the **net_throughput** section: the cam-net wire loop on real
+//! loopback UDP — frames/second, bytes/second per core, and
+//! wakeups/second for the reactor loop on the multiplexed transport,
+//! against the frozen pre-reactor polling loop, plus the sharded
+//! multi-thread mode's aggregate rate.
+//!
 //! Uses `std::time` only (criterion is a dev-dependency, unavailable to
 //! binaries) and a deterministic splitmix64 key stream instead of an RNG,
 //! so runs are reproducible modulo machine noise.
@@ -531,6 +537,173 @@ fn bench_fig6_quick_sweep(opts: &Options) -> SweepResult {
     }
 }
 
+struct NetRunRow {
+    frames_per_sec: f64,
+    bytes_per_sec_per_core: f64,
+    wakeups_per_sec: f64,
+    seconds: f64,
+    rounds_delivered: usize,
+}
+
+struct NetThroughputResult {
+    nodes: usize,
+    payload_bytes: usize,
+    rounds: usize,
+    mux: NetRunRow,
+    legacy: NetRunRow,
+    reactor_vs_legacy_speedup: f64,
+    sharded_shards: usize,
+    sharded_nodes_per_shard: usize,
+    sharded_frames_per_sec: f64,
+    sharded_rounds_delivered: usize,
+    sharded_rounds: usize,
+}
+
+/// The wire-loop section: an `nodes`-node cluster on real loopback UDP
+/// pushing `rounds` multicasts of `payload_bytes` to full delivery.
+/// Measured twice over the same workload — the reactor loop with the
+/// multiplexed single-socket transport (deadline sleeps, batched recv,
+/// pooled buffers) against the frozen pre-reactor loop with per-node
+/// sockets (fixed 500 µs polling grid) — plus the sharded multi-thread
+/// mode. `frames_per_sec` counts decoded frames (payload + ack +
+/// maintenance); both loops run single-threaded, so bytes/s is per core
+/// as-is. Wakeups are only accounted by the reactor loop: the legacy
+/// grid's rate is its polling frequency by construction (2000/s).
+fn bench_net_throughput(
+    nodes: usize,
+    rounds: usize,
+    payload_bytes: usize,
+) -> NetThroughputResult {
+    use cam_net::legacy::LegacyCluster;
+    use cam_net::{Cluster, MuxUdpTransport, RetransmitPolicy, UdpTransport};
+    use cam_ring::IdSpace;
+
+    let seed = 0xBE7C;
+    let space = IdSpace::PAPER;
+    let ring = cam_net::sharded::members(space, nodes, seed);
+    let payload = bytes::Bytes::from(vec![0xB0u8; payload_bytes]);
+
+    // Loopback throughput at saturation is scheduler-noisy; like the
+    // other sections, keep the best of two full workload replays.
+    let best_net = |run: &dyn Fn() -> NetRunRow| -> NetRunRow {
+        let a = run();
+        let b = run();
+        if a.frames_per_sec >= b.frames_per_sec {
+            a
+        } else {
+            b
+        }
+    };
+
+    let mux = best_net(&|| {
+        let transport = MuxUdpTransport::bind(nodes).expect("bind mux loopback socket");
+        let mut cluster = Cluster::converged(
+            space,
+            &ring,
+            cam_core::cam_chord::CamChordProtocol,
+            seed,
+            transport,
+            RetransmitPolicy::default(),
+        );
+        cluster.set_maintenance_period(Duration::from_millis(100));
+        cluster.run_for(Duration::from_millis(600));
+        cluster.reset_loop_stats();
+        let before = cluster.counters();
+        let epoch = Instant::now();
+        let mut delivered = 0usize;
+        for round in 0..rounds {
+            let p = cluster.start_multicast(round % nodes, true, payload.clone());
+            if cluster.run_until(Duration::from_secs(10), |c| c.delivery_ratio(p) >= 1.0) {
+                delivered += 1;
+            }
+        }
+        let secs = epoch.elapsed().as_secs_f64();
+        let after = cluster.counters();
+        let stats = cluster.loop_stats();
+        NetRunRow {
+            frames_per_sec: (after.frames_decoded - before.frames_decoded) as f64 / secs,
+            bytes_per_sec_per_core: (after.bytes_received - before.bytes_received) as f64
+                / secs,
+            wakeups_per_sec: stats.wakeups as f64 / secs,
+            seconds: secs,
+            rounds_delivered: delivered,
+        }
+    });
+
+    let legacy = best_net(&|| {
+        let transport = UdpTransport::bind(nodes).expect("bind per-node loopback sockets");
+        let mut cluster = LegacyCluster::converged(
+            space,
+            &ring,
+            cam_core::cam_chord::CamChordProtocol,
+            seed,
+            transport,
+            RetransmitPolicy::default(),
+        );
+        cluster.set_maintenance_period(Duration::from_millis(100));
+        cluster.run_for(Duration::from_millis(600));
+        let before = cluster.counters();
+        let epoch = Instant::now();
+        let mut delivered = 0usize;
+        for round in 0..rounds {
+            let p = cluster.start_multicast(round % nodes, true, payload.clone());
+            if cluster.run_until(Duration::from_secs(10), |c| c.delivery_ratio(p) >= 1.0) {
+                delivered += 1;
+            }
+        }
+        let secs = epoch.elapsed().as_secs_f64();
+        let after = cluster.counters();
+        NetRunRow {
+            frames_per_sec: (after.frames_decoded - before.frames_decoded) as f64 / secs,
+            bytes_per_sec_per_core: (after.bytes_received - before.bytes_received) as f64
+                / secs,
+            wakeups_per_sec: 0.0,
+            seconds: secs,
+            rounds_delivered: delivered,
+        }
+    });
+
+    // Sharded mode: the same node count split across worker threads, each
+    // shard an independent ring on its own socket. Frames/s here spans
+    // each shard's whole lifecycle (convergence included), aggregated over
+    // the wall time of the slowest shard.
+    let shards = 4usize;
+    let nodes_per_shard = nodes / shards;
+    let shard_rounds = rounds / shards;
+    let specs: Vec<cam_net::ShardSpec<cam_core::cam_chord::CamChordProtocol>> = (0..shards)
+        .map(|shard| cam_net::ShardSpec {
+            shard,
+            nodes: nodes_per_shard,
+            rounds: shard_rounds,
+            payload_len: payload_bytes,
+            seed,
+            protocol: cam_core::cam_chord::CamChordProtocol,
+            maintenance: Duration::from_millis(100),
+            warmup: Duration::from_millis(600),
+            round_timeout: Duration::from_secs(10),
+        })
+        .collect();
+    let epoch = Instant::now();
+    let outcomes = cam_net::run_sharded(specs);
+    let sharded_secs = epoch.elapsed().as_secs_f64();
+    let sharded_frames: u64 = outcomes.iter().map(|o| o.counters.frames_decoded).sum();
+    let sharded_delivered: usize = outcomes.iter().map(|o| o.rounds_delivered).sum();
+
+    NetThroughputResult {
+        nodes,
+        payload_bytes,
+        rounds,
+        reactor_vs_legacy_speedup: mux.frames_per_sec / legacy.frames_per_sec,
+        mux,
+        legacy,
+        sharded_shards: shards,
+        sharded_nodes_per_shard: nodes_per_shard,
+        sharded_frames_per_sec: sharded_frames as f64 / sharded_secs,
+        sharded_rounds_delivered: sharded_delivered,
+        sharded_rounds: shards * shard_rounds,
+    }
+}
+
 /// Formats an `f64` for JSON (finite guaranteed by construction; keep a
 /// guard anyway).
 fn num(x: f64) -> String {
@@ -626,6 +799,28 @@ fn main() {
         multigroup.groups,
     );
 
+    // The wire loop: reactor-on-mux vs the frozen legacy loop, plus the
+    // sharded multi-thread mode, all over real loopback UDP.
+    let net = clock.time("net_throughput", || bench_net_throughput(64, 400, 256));
+    eprintln!(
+        "net_throughput    n={:>6}: mux {:.0} frames/s ({:.0} wakeups/s), legacy {:.0} frames/s ({:.2}x), sharded {:.0} frames/s over {} threads",
+        net.nodes,
+        net.mux.frames_per_sec,
+        net.mux.wakeups_per_sec,
+        net.legacy.frames_per_sec,
+        net.reactor_vs_legacy_speedup,
+        net.sharded_frames_per_sec,
+        net.sharded_shards,
+    );
+    assert_eq!(
+        net.mux.rounds_delivered, net.rounds,
+        "reactor loop failed to deliver every round on loopback"
+    );
+    assert_eq!(
+        net.legacy.rounds_delivered, net.rounds,
+        "legacy loop failed to deliver every round on loopback"
+    );
+
     let phases = clock.spans();
     for (name, secs, mem) in &phases {
         eprintln!(
@@ -713,7 +908,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"fig6_quick_sweep\": {{\"n\": {}, \"sources\": {}, \"targets\": {}, \"trees_per_rep\": {}, \"current_trees_per_sec\": {}, \"baseline_trees_per_sec\": {}, \"speedup\": {}}}\n",
+        "  \"fig6_quick_sweep\": {{\"n\": {}, \"sources\": {}, \"targets\": {}, \"trees_per_rep\": {}, \"current_trees_per_sec\": {}, \"baseline_trees_per_sec\": {}, \"speedup\": {}}},\n",
         sweep.n,
         sweep.sources,
         sweep.targets,
@@ -722,6 +917,39 @@ fn main() {
         num(sweep.baseline_trees_per_sec),
         num(sweep.speedup)
     ));
+    json.push_str("  \"net_throughput\": {\n");
+    json.push_str(&format!(
+        "    \"nodes\": {}, \"payload_bytes\": {}, \"rounds\": {},\n",
+        net.nodes, net.payload_bytes, net.rounds
+    ));
+    json.push_str(&format!(
+        "    \"mux\": {{\"frames_per_sec\": {}, \"bytes_per_sec_per_core\": {}, \"wakeups_per_sec\": {}, \"seconds\": {}, \"rounds_delivered\": {}}},\n",
+        num(net.mux.frames_per_sec),
+        num(net.mux.bytes_per_sec_per_core),
+        num(net.mux.wakeups_per_sec),
+        num(net.mux.seconds),
+        net.mux.rounds_delivered
+    ));
+    json.push_str(&format!(
+        "    \"legacy\": {{\"frames_per_sec\": {}, \"bytes_per_sec_per_core\": {}, \"seconds\": {}, \"rounds_delivered\": {}}},\n",
+        num(net.legacy.frames_per_sec),
+        num(net.legacy.bytes_per_sec_per_core),
+        num(net.legacy.seconds),
+        net.legacy.rounds_delivered
+    ));
+    json.push_str(&format!(
+        "    \"reactor_vs_legacy_speedup\": {},\n",
+        num(net.reactor_vs_legacy_speedup)
+    ));
+    json.push_str(&format!(
+        "    \"sharded\": {{\"shards\": {}, \"nodes_per_shard\": {}, \"frames_per_sec\": {}, \"rounds_delivered\": {}, \"rounds\": {}}}\n",
+        net.sharded_shards,
+        net.sharded_nodes_per_shard,
+        num(net.sharded_frames_per_sec),
+        net.sharded_rounds_delivered,
+        net.sharded_rounds
+    ));
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");

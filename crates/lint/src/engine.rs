@@ -41,7 +41,9 @@ const PANIC_FREE_CRATES: &[&str] = &["net"];
 
 /// Crates that spawn threads (or plausibly will): every spawn closure in
 /// their `src/` must route captured state through an approved channel.
-const THREADED_CRATES: &[&str] = &["core", "sim", "overlay", "bench", "experiments"];
+/// `net` joined the set when the sharded reactor mode landed: its worker
+/// threads must build each reactor core locally, never capture one.
+const THREADED_CRATES: &[&str] = &["core", "sim", "overlay", "bench", "experiments", "net"];
 
 /// The crate that owns `CapacityLedger`; raw ledger field access anywhere
 /// else is a finding.

@@ -1,0 +1,71 @@
+//! Failing fixture for `thread_shared_state` + `lock_discipline` in the
+//! shapes the cam-net reactor must never take: one reactor core's
+//! mutable state captured by several shard workers (the whole point of
+//! the sharding model is that cores are thread-local), a `RefCell`
+//! frame sink shared across spawns, inverted telemetry lock nesting,
+//! and a timer callback fired with the route guard still held.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+pub struct Core {
+    pub frames: u64,
+}
+
+impl Core {
+    pub fn on_timer(&mut self, now: u64) {
+        self.frames += now & 1;
+    }
+}
+
+/// Two workers mutating one core and one sink: a data race waiting for
+/// a schedule, exactly what per-shard construction exists to prevent.
+pub fn striped_core(rounds: u64) -> u64 {
+    let mut core = Core { frames: 0 };
+    let sink = RefCell::new(Vec::<u64>::new());
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for round in 0..rounds {
+                core.on_timer(round);
+            }
+        });
+        s.spawn(|| {
+            sink.borrow_mut().push(rounds);
+        });
+    });
+    core.frames
+}
+
+pub struct ShardTelemetry {
+    stats: Mutex<u64>,
+    routes: Mutex<Vec<u64>>,
+}
+
+impl ShardTelemetry {
+    pub fn snapshot(&self) -> (u64, usize) {
+        let wakeups = self.stats.lock().unwrap();
+        let table = self.routes.lock().unwrap();
+        let out = (*wakeups, table.len());
+        drop(table);
+        drop(wakeups);
+        out
+    }
+
+    /// Nests `routes` before `stats` while `snapshot` nests the other
+    /// way: a schedule-dependent deadlock between two shard threads.
+    pub fn rebalance(&self) -> u64 {
+        let table = self.routes.lock().unwrap();
+        let wakeups = self.stats.lock().unwrap();
+        let n = *wakeups + table.len() as u64;
+        drop(wakeups);
+        drop(table);
+        n
+    }
+
+    /// Fires the protocol timer with the route guard still held: the
+    /// callback can re-enter the telemetry and self-deadlock.
+    pub fn fire(&self, core: &mut Core) {
+        let table = self.routes.lock().unwrap();
+        core.on_timer(table.len() as u64);
+    }
+}

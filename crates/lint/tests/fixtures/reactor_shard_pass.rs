@@ -1,0 +1,89 @@
+//! Passing fixture for `thread_shared_state` + `lock_discipline` in the
+//! shapes the cam-net reactor uses: the sharded multi-thread mode moves
+//! each worker's whole spec by value through a `for`-pattern binding and
+//! builds every piece of mutable state (transport, cluster, counters)
+//! inside the worker; cross-shard telemetry nests its locks in one
+//! global order and drops guards before protocol callbacks run.
+
+use std::sync::Mutex;
+
+pub struct ShardSpec {
+    pub nodes: usize,
+    pub rounds: usize,
+    pub seed: u64,
+}
+
+pub struct ShardOutcome {
+    pub shard: usize,
+    pub frames: u64,
+}
+
+pub struct Core {
+    pub frames: u64,
+}
+
+impl Core {
+    pub fn on_timer(&mut self, now: u64) {
+        self.frames += now & 1;
+    }
+}
+
+/// A worker's whole lifecycle runs on its own thread: the reactor core
+/// is constructed here, never shared.
+fn run_shard(shard: usize, spec: ShardSpec) -> ShardOutcome {
+    let mut core = Core { frames: 0 };
+    for round in 0..spec.rounds {
+        core.on_timer(spec.seed ^ round as u64);
+        core.frames += (spec.nodes as u64).max(1);
+    }
+    ShardOutcome {
+        shard,
+        frames: core.frames,
+    }
+}
+
+/// One thread per shard; each `spec` is a fresh per-iteration value
+/// moved wholesale into its closure, and results return by value
+/// through the join handles.
+pub fn run_sharded(specs: Vec<ShardSpec>) -> Vec<ShardOutcome> {
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (k, spec) in specs.into_iter().enumerate() {
+            handles.push(s.spawn(move || run_shard(k, spec)));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(ShardOutcome {
+                    shard: 0,
+                    frames: 0,
+                })
+            })
+            .collect()
+    })
+}
+
+/// Cross-shard telemetry: `stats` before `routes` on every path, and no
+/// callback runs under a held guard.
+pub struct ShardTelemetry {
+    stats: Mutex<u64>,
+    routes: Mutex<Vec<u64>>,
+}
+
+impl ShardTelemetry {
+    pub fn snapshot(&self) -> (u64, usize) {
+        let wakeups = self.stats.lock().unwrap();
+        let table = self.routes.lock().unwrap();
+        let out = (*wakeups, table.len());
+        drop(table);
+        drop(wakeups);
+        out
+    }
+
+    pub fn fire(&self, core: &mut Core) {
+        let wakeups = self.stats.lock().unwrap();
+        let now = *wakeups;
+        drop(wakeups);
+        core.on_timer(now);
+    }
+}

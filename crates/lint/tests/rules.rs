@@ -362,6 +362,47 @@ fn lock_discipline_fail_fixture_flags_inversion_and_callback() {
             && x.message.contains("`deliver`")));
 }
 
+// ------------------------------------------- reactor / sharded-mode shapes
+
+/// The concurrency rules cover the cam-net reactor's sharded mode: specs
+/// moved wholesale through `for`-pattern bindings into per-shard workers,
+/// cores built thread-locally, telemetry locks nested in one order, and
+/// guards dropped before protocol callbacks — all clean under both rules.
+#[test]
+fn reactor_shard_pass_fixture_is_clean() {
+    let f = run(
+        "reactor_shard_pass.rs",
+        include_str!("fixtures/reactor_shard_pass.rs"),
+        &[Rule::ThreadSharedState, Rule::LockDiscipline],
+    );
+    assert!(f.is_empty(), "unexpected findings:\n{}", render(&f));
+}
+
+/// The anti-shapes the sharding model forbids: one core (and one
+/// `RefCell` sink) mutated from two workers, inverted telemetry lock
+/// nesting, and the timer callback fired under a held route guard.
+#[test]
+fn reactor_shard_fail_fixture_flags_each_violation() {
+    let f = run(
+        "reactor_shard_fail.rs",
+        include_str!("fixtures/reactor_shard_fail.rs"),
+        &[Rule::ThreadSharedState, Rule::LockDiscipline],
+    );
+    assert_eq!(f.len(), 4, "findings:\n{}", render(&f));
+    assert!(f.iter().any(|x| x.rule == Rule::ThreadSharedState
+        && x.message.contains("`core`")
+        && x.message.contains("declared `mut`")));
+    assert!(f.iter().any(|x| x.rule == Rule::ThreadSharedState
+        && x.message.contains("`sink`")
+        && x.message.contains("interior-mutability")));
+    assert!(f.iter().any(
+        |x| x.rule == Rule::LockDiscipline && x.message.contains("inconsistent lock order")
+    ));
+    assert!(f.iter().any(|x| x.rule == Rule::LockDiscipline
+        && x.message.contains("protocol callback `on_timer`")
+        && x.message.contains("`fire`")));
+}
+
 // ----------------------------------------------------- ledger_encapsulation
 
 #[test]

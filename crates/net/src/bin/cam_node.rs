@@ -2,8 +2,9 @@
 //! through it.
 //!
 //! Every node is a full `DhtActor` (the same protocol logic the simulator
-//! and the paper experiments use) hosted by the `cam-net` runtime, either
-//! over non-blocking UDP sockets on `127.0.0.1` (the default) or over the
+//! and the paper experiments use) hosted by the `cam-net` reactor, either
+//! over non-blocking UDP sockets on `127.0.0.1` (one per node by default,
+//! or all nodes multiplexed on a single socket with `--mux`) or over the
 //! deterministic in-memory wire (`--mem`), which also supports seeded
 //! frame-loss injection (`--loss`). The tool bootstraps the cluster, lets
 //! stabilization run, multicasts a payload from node 0, and reports
@@ -11,7 +12,7 @@
 //!
 //! ```text
 //! cam-node [N] [--koorde] [--payload BYTES] [--seed SEED]
-//!          [--mem] [--loss P] [--trace-out FILE]
+//!          [--mem] [--mux] [--loss P] [--trace-out FILE]
 //! ```
 //!
 //! `--trace-out FILE` installs a recording tracer and writes the run's
@@ -23,6 +24,7 @@ use std::process::ExitCode;
 use bytes::Bytes;
 use cam_core::cam_chord::CamChordProtocol;
 use cam_core::cam_koorde::CamKoordeProtocol;
+use cam_net::mux::MuxUdpTransport;
 use cam_net::runtime::{Cluster, RetransmitPolicy};
 use cam_net::transport::{InMemoryTransport, Transport};
 use cam_net::udp::UdpTransport;
@@ -39,12 +41,13 @@ struct Options {
     payload: usize,
     seed: u64,
     mem: bool,
+    mux: bool,
     loss: f64,
     trace_out: Option<String>,
 }
 
 const USAGE: &str = "usage: cam-node [N] [--koorde] [--payload BYTES] [--seed SEED] \
-     [--mem] [--loss P] [--trace-out FILE]";
+     [--mem] [--mux] [--loss P] [--trace-out FILE]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -53,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         payload: 256,
         seed: 42,
         mem: false,
+        mux: false,
         loss: 0.0,
         trace_out: None,
     };
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
             "--koorde" => opts.koorde = true,
             "--chord" => opts.koorde = false,
             "--mem" => opts.mem = true,
+            "--mux" => opts.mux = true,
             "--payload" => {
                 let v = args.next().ok_or("--payload needs a byte count")?;
                 opts.payload = v.parse().map_err(|_| format!("bad --payload {v:?}"))?;
@@ -97,6 +102,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.loss > 0.0 && !opts.mem {
         return Err("--loss needs --mem (loss injection is in-memory only)".to_string());
+    }
+    if opts.mem && opts.mux {
+        return Err("--mux runs on real UDP; drop --mem".to_string());
     }
     Ok(opts)
 }
@@ -167,7 +175,7 @@ fn run<P: DhtProtocol, T: Transport>(
         cluster.max_hops(payload),
     );
     println!(
-        "wire: {} B sent / {} B received; frames {} encoded, {} decoded, {} rejected, {} oversize, {} dropped, {} retransmitted",
+        "wire: {} B sent / {} B received; frames {} encoded, {} decoded, {} rejected, {} oversize, {} dropped, {} retransmitted, {} backpressured",
         c.bytes_sent,
         c.bytes_received,
         c.frames_encoded,
@@ -176,6 +184,15 @@ fn run<P: DhtProtocol, T: Transport>(
         c.encode_oversize,
         c.frames_dropped,
         c.frames_retransmitted,
+        c.send_backpressure,
+    );
+    let stats = cluster.loop_stats();
+    println!(
+        "loop: {} wakeups, {} deadline sleeps ({} ms slept), {} io wakes",
+        stats.wakeups,
+        stats.sleeps,
+        stats.slept_micros / 1000,
+        stats.io_wakes,
     );
     if let Some(path) = &opts.trace_out {
         cluster.export_telemetry();
@@ -215,6 +232,20 @@ fn run_with_transport<P: DhtProtocol>(
             opts.n,
             opts.loss * 100.0,
             opts.seed,
+        );
+        run(opts, protocol, region_split, t)
+    } else if opts.mux {
+        let t = match MuxUdpTransport::bind(opts.n) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cam-node: cannot bind the multiplexed socket: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "cam-node: {} nodes ({name}) multiplexed on one socket at {}",
+            opts.n,
+            t.local_addr(),
         );
         run(opts, protocol, region_split, t)
     } else {

@@ -128,6 +128,19 @@ impl std::error::Error for WireError {}
 /// not fit in [`MAX_FRAME`] (e.g. a multicast payload or anti-entropy
 /// digest too large for one datagram).
 pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    encode_frame_into(frame, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes `frame` into a caller-provided buffer — the pooled-buffer hot
+/// path. `out` is cleared first, so a recycled buffer's old contents never
+/// leak; its capacity is reused, so the steady state allocates nothing.
+///
+/// Fails only with [`WireError::Oversize`] (see [`encode_frame`]); on
+/// error `out` is left empty.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) -> Result<(), WireError> {
+    out.clear();
     let body_len = match frame {
         Frame::Data { msg, .. } => 1 + msg_len(msg),
         Frame::Ack { .. } => 0,
@@ -136,8 +149,8 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
     if 4 + total > MAX_FRAME {
         return Err(WireError::Oversize(4 + total));
     }
-    let mut out = Vec::with_capacity(4 + total);
-    put_u32(&mut out, total as u32);
+    out.reserve(4 + total);
+    put_u32(out, total as u32);
     out.push(WIRE_VERSION);
     match frame {
         Frame::Data {
@@ -147,19 +160,19 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             msg,
         } => {
             out.push(KIND_DATA);
-            put_u64(&mut out, *from);
-            put_u64(&mut out, *seq);
+            put_u64(out, *from);
+            put_u64(out, *seq);
             out.push(u8::from(*ack_required));
-            put_msg(&mut out, msg);
+            put_msg(out, msg);
         }
         Frame::Ack { from, seq } => {
             out.push(KIND_ACK);
-            put_u64(&mut out, *from);
-            put_u64(&mut out, *seq);
+            put_u64(out, *from);
+            put_u64(out, *seq);
         }
     }
     debug_assert_eq!(out.len(), 4 + total);
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes one complete frame from `buf` (e.g. a received datagram).
@@ -593,6 +606,36 @@ mod tests {
         let bytes = encode_frame(&f).unwrap();
         assert_eq!(bytes.len(), ACK_FRAME_LEN);
         assert_eq!(decode_frame(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn encode_into_reuses_dirty_buffers() {
+        let frame = Frame::Data {
+            from: 3,
+            seq: 11,
+            ack_required: true,
+            msg: DhtMsg::Ping { req_id: 42 },
+        };
+        let fresh = encode_frame(&frame).unwrap();
+        // A recycled buffer arrives with stale contents and capacity; the
+        // pooled path must clear it and produce identical bytes.
+        let mut recycled = vec![0xAA; 512];
+        encode_frame_into(&frame, &mut recycled).unwrap();
+        assert_eq!(recycled, fresh);
+        // Oversize failures leave the buffer empty, never half-written.
+        let huge = Frame::Data {
+            from: 0,
+            seq: 1,
+            ack_required: false,
+            msg: DhtMsg::PayloadPush {
+                payload: 1,
+                hops: 0,
+                data: bytes::Bytes::from(vec![0u8; MAX_FRAME]),
+            },
+        };
+        let mut buf = vec![1, 2, 3];
+        assert!(encode_frame_into(&huge, &mut buf).is_err());
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -1,37 +1,62 @@
 #![forbid(unsafe_code)]
 
 //! Networking for the CAM overlays: a versioned wire codec, pluggable
-//! transports, and a node runtime that takes the *same* `DhtActor` the
-//! simulator drives and runs it over a real (or realistically faulty)
-//! wire.
+//! transports, and a sans-I/O reactor core that takes the *same*
+//! `DhtActor` the simulator drives and runs it over a real (or
+//! realistically faulty) wire.
 //!
 //! The crate is layered bottom-up:
 //!
 //! * [`codec`] — a length-prefixed, versioned binary frame format for
-//!   `DhtMsg`, with strict rejection of malformed input.
-//! * [`transport`] — the [`transport::Transport`] trait plus
+//!   `DhtMsg`, with strict rejection of malformed input and a
+//!   buffer-reusing [`codec::encode_frame_into`] for the pooled hot
+//!   path.
+//! * [`transport`] — the [`transport::Transport`] trait (batched
+//!   send/recv, readiness waits, backpressure flushing) plus
 //!   [`transport::InMemoryTransport`], a deterministic in-process wire
 //!   with injectable loss and the simulator's latency models.
-//! * [`udp`] — [`udp::UdpTransport`], real non-blocking UDP sockets on
-//!   loopback.
-//! * [`runtime`] — [`runtime::Cluster`] / [`runtime::NodeRuntime`], the
-//!   event loop: frame decode → actor delivery → frame encode, timer
-//!   scheduling, bootstrap/join, and ack/retransmit with capped
-//!   exponential backoff for multicast payload frames.
+//! * [`udp`] — [`udp::UdpTransport`], one real non-blocking UDP socket
+//!   per node on loopback, with queue-and-retry send backpressure.
+//! * [`mux`] — [`mux::MuxUdpTransport`], hundreds of nodes multiplexed
+//!   onto *one* socket with a 4-byte destination envelope, readiness
+//!   waits, and routable endpoints for cross-process sharding.
+//! * [`reactor`] — [`reactor::ReactorCore`], the pure poll-style
+//!   protocol state machine: `handle_frame(now, ..)` / `poll(now, ..)`
+//!   / `next_wake()`, with every I/O effect emitted through a
+//!   [`reactor::FrameSink`]. Sim, chaos, and net all drive this one
+//!   core; nothing in it sleeps, reads a clock, or touches a socket.
+//! * [`runtime`] — [`runtime::Cluster`], the thin wire loop around the
+//!   core: batched recv draining, deadline-computed sleeps (wake exactly
+//!   at `min(next timer, next RTO, socket readable)`), and scheduler
+//!   accounting in [`runtime::LoopStats`].
+//! * [`sharded`] — the multi-thread mode: one reactor per worker
+//!   thread, state owned thread-locally, certified by cam-lint's
+//!   concurrency rules.
+//! * [`legacy`] — the pre-reactor event loop, frozen for the parity
+//!   suite and throughput comparisons.
 //!
 //! The `cam-node` binary (in `src/bin/`) stands up an N-node loopback
-//! UDP cluster and runs a real multicast through it.
+//! UDP cluster (per-node sockets or multiplexed) and runs a real
+//! multicast through it.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod legacy;
+pub mod mux;
+pub mod reactor;
 pub mod runtime;
+pub mod sharded;
 pub mod transport;
 pub mod udp;
 
 pub use codec::{
-    decode_frame, encode_frame, wire_cost, Frame, WireError, MAX_FRAME, WIRE_VERSION,
+    decode_frame, encode_frame, encode_frame_into, wire_cost, Frame, WireError, MAX_FRAME,
+    WIRE_VERSION,
 };
-pub use runtime::{Cluster, NodeRuntime, RetransmitPolicy};
-pub use transport::{InMemoryTransport, Transport, WireCounters};
+pub use mux::MuxUdpTransport;
+pub use reactor::{FrameSink, ReactorCore};
+pub use runtime::{Cluster, LoopStats, NodeRuntime, RetransmitPolicy};
+pub use sharded::{run_shard, run_sharded, ShardOutcome, ShardSpec};
+pub use transport::{InMemoryTransport, OutFrame, Transport, WireCounters};
 pub use udp::UdpTransport;

@@ -1,0 +1,1085 @@
+//! The sans-I/O protocol core: every effect of the node runtime —
+//! timers, retransmissions, frame encode/decode, actor deliveries — as a
+//! pure poll-style state machine with **no sockets, no clocks, and no
+//! sleeps** anywhere inside.
+//!
+//! [`ReactorCore`] owns N [`NodeRuntime`]s (actor + timer heap +
+//! retransmit buffer + private RNG stream) and exposes exactly three
+//! temporal entry points, all taking `now` as an argument:
+//!
+//! * [`ReactorCore::handle_frame`] — one received datagram in, decoded,
+//!   acked if required, delivered to the addressed actor; any frames the
+//!   actor produced come back out through the [`FrameSink`];
+//! * [`ReactorCore::poll`] — fire every timer and retransmission due at
+//!   or before `now`, pushing the resulting frames into the sink;
+//! * [`ReactorCore::next_wake`] — the earliest instant at which `poll`
+//!   would have work: `min(next timer, next RTO)` over all live nodes.
+//!
+//! That contract — `poll(now) → frames out` plus `next_wake() → wake-at`
+//! — is what lets one protocol core serve every host with zero
+//! divergence: the virtual-time [`Cluster`](crate::runtime::Cluster) over
+//! the deterministic in-memory wire (sim and chaos parity), the same
+//! `Cluster` over real UDP where the wire loop sleeps *exactly* until
+//! `min(next_wake, socket readable, run deadline)` instead of spinning,
+//! and the sharded multi-thread mode ([`crate::sharded`]) where each
+//! worker owns one core outright. The `atm0s-sdn` exemplar's SAN-I/O
+//! architecture is the model: protocol logic is written once, transports
+//! are pluggable shells.
+//!
+//! Outgoing frames are encoded into buffers drawn from the sink's pool
+//! ([`FrameSink::alloc`]) and recycled after the transport ships them, so
+//! the steady-state hot path allocates nothing per frame.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use cam_overlay::dynamic::{
+    CollectedEffects, DhtActor, DhtMsg, DhtProtocol, EffectDriver, SUCCESSOR_LIST_LEN,
+};
+use cam_overlay::Member;
+use cam_ring::{Id, IdSpace, Segment};
+use cam_sim::rng::SimRng;
+use cam_sim::{ActorId, Duration, SimTime};
+use cam_trace::{DeliveryCensus, EventKind, GroupDeliveryCensus, NopTracer, Tracer};
+
+use crate::codec::{decode_frame, encode_frame_into, Frame};
+use crate::transport::{OutFrame, WireCounters};
+
+/// Retransmission schedule for acknowledged (payload) frames.
+#[derive(Debug, Clone, Copy)]
+pub struct RetransmitPolicy {
+    /// Delay before the first retransmission.
+    pub initial_rto: Duration,
+    /// Backoff ceiling: the retransmission interval doubles per attempt
+    /// but never exceeds this.
+    pub max_rto: Duration,
+    /// Total transmission attempts (first send included) before the frame
+    /// is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            initial_rto: Duration::from_millis(150),
+            max_rto: Duration::from_millis(2400),
+            max_attempts: 10,
+        }
+    }
+}
+
+/// A payload frame awaiting acknowledgement.
+#[derive(Debug)]
+struct PendingAck {
+    to: usize,
+    frame: Vec<u8>,
+    attempts: u32,
+    rto: Duration,
+    next_at: SimTime,
+}
+
+/// Encoded frames the core wants on the wire, with a buffer pool so the
+/// steady state allocates nothing per frame.
+///
+/// The core pushes in emission order and the host must ship in that same
+/// order — deterministic transports assign delivery sequence numbers from
+/// it, which is what makes the reactor path bit-identical to the legacy
+/// loop. After shipping, [`FrameSink::recycle_all`] returns every buffer
+/// to the pool.
+#[derive(Debug, Default)]
+pub struct FrameSink {
+    frames: Vec<OutFrame>,
+    pool: Vec<Vec<u8>>,
+}
+
+/// Pool bound: beyond this, recycled buffers are dropped rather than
+/// hoarded (a burst should not pin its high-water mark forever).
+const SINK_POOL_CAP: usize = 256;
+
+impl FrameSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        FrameSink::default()
+    }
+
+    /// A cleared buffer from the pool (or a fresh one when the pool is
+    /// dry).
+    pub fn alloc(&mut self) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Queues an encoded frame for the host to ship.
+    pub fn push(&mut self, from: usize, to: usize, buf: Vec<u8>) {
+        self.frames.push(OutFrame { from, to, buf });
+    }
+
+    /// Whether any frames await shipping.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Queued frames, in emission order.
+    pub fn frames(&self) -> &[OutFrame] {
+        &self.frames
+    }
+
+    /// Returns an unused buffer (e.g. from an encode failure) to the
+    /// pool.
+    pub fn give_back(&mut self, buf: Vec<u8>) {
+        if self.pool.len() < SINK_POOL_CAP {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Clears the queue after the host shipped every frame, recycling the
+    /// buffers into the pool.
+    pub fn recycle_all(&mut self) {
+        for f in self.frames.drain(..) {
+            if self.pool.len() < SINK_POOL_CAP {
+                self.pool.push(f.buf);
+            }
+        }
+    }
+}
+
+/// One live node: a [`DhtActor`] plus the runtime state that hosts it —
+/// its timer heap, its retransmit buffer, and its private RNG stream.
+#[derive(Debug)]
+pub struct NodeRuntime<P: DhtProtocol> {
+    actor: DhtActor<P>,
+    alive: bool,
+    /// Armed timers as `(fire_at, arm_order, tag)`; `arm_order` keeps
+    /// equal-instant timers FIFO.
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    timer_seq: u64,
+    /// Unacknowledged payload frames by sequence number.
+    awaiting_ack: HashMap<u64, PendingAck>,
+    next_seq: u64,
+    rng: SimRng,
+}
+
+impl<P: DhtProtocol> NodeRuntime<P> {
+    fn new(index: usize, actor: DhtActor<P>, seed: u64) -> Self {
+        NodeRuntime {
+            actor,
+            alive: true,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            awaiting_ack: HashMap::new(),
+            next_seq: 1,
+            rng: SimRng::new(seed).split(0x0DE ^ index as u64),
+        }
+    }
+
+    /// The hosted actor (routing tables, received payloads, join state).
+    pub fn actor(&self) -> &DhtActor<P> {
+        &self.actor
+    }
+
+    /// Exclusive access to the hosted actor (e.g. for a harness to toggle
+    /// anti-entropy on a running node).
+    pub fn actor_mut(&mut self) -> &mut DhtActor<P> {
+        &mut self.actor
+    }
+
+    /// Whether the node is alive (not crash-killed by the harness).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Payload frames currently awaiting acknowledgement.
+    pub fn unacked_frames(&self) -> usize {
+        self.awaiting_ack.len()
+    }
+
+    /// Timers currently armed in this node's heap. A joined node at rest
+    /// holds exactly its three maintenance timers; anything more is leaked
+    /// runtime state (the chaos harness's cleanup oracle checks this).
+    pub fn armed_timers(&self) -> usize {
+        self.timers.len()
+    }
+
+    fn push_timer(&mut self, at: SimTime, tag: u64) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Reverse((at, seq, tag)));
+    }
+
+    /// Earliest instant this node needs the reactor's attention.
+    fn next_deadline(&self) -> Option<SimTime> {
+        if !self.alive {
+            return None;
+        }
+        let timer = self.timers.peek().map(|Reverse((at, _, _))| *at);
+        let rto = self.awaiting_ack.values().map(|p| p.next_at).min();
+        match (timer, rto) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// The sans-I/O reactor core: N nodes' protocol state driven purely by
+/// `handle_frame` / `poll` / `next_wake`, with every outgoing frame
+/// pushed through a [`FrameSink`] and every counter delta written into a
+/// caller-supplied [`WireCounters`]. See the module docs for the
+/// contract.
+pub struct ReactorCore<P: DhtProtocol> {
+    space: IdSpace,
+    protocol: P,
+    nodes: Vec<NodeRuntime<P>>,
+    policy: RetransmitPolicy,
+    /// Wire endpoints available to the hosting transport; bounds `join`
+    /// and silently drops sends to endpoints that were never attached
+    /// (stale addresses), exactly like the sim's unknown actor.
+    endpoints: usize,
+    seed: u64,
+    next_payload: u64,
+    /// Reusable effect buffer for actor deliveries.
+    effects: CollectedEffects,
+    /// Event/telemetry sink; [`NopTracer`] (free) unless installed via
+    /// [`ReactorCore::set_tracer`]. Events are stamped with the `now`
+    /// the host passes in, so virtual-time runs trace deterministically.
+    tracer: Box<dyn Tracer>,
+}
+
+impl<P: DhtProtocol> ReactorCore<P> {
+    /// Builds a *converged* core of `members` on endpoints
+    /// `0..members.len()`: every node starts with correct successors,
+    /// predecessor, and fingers (what stabilization would eventually
+    /// produce) and its maintenance timers armed — the same bootstrap the
+    /// sim harness uses. Endpoints up to `endpoints` stay free for
+    /// [`ReactorCore::join`]. Maintenance-arming may emit frames; they
+    /// land in `sink` for the host to ship at its time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `endpoints < members.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn converged(
+        space: IdSpace,
+        members: &[Member],
+        protocol: P,
+        seed: u64,
+        endpoints: usize,
+        policy: RetransmitPolicy,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> Self {
+        let mut sorted = members.to_vec();
+        sorted.sort_by_key(|m| m.id);
+        let n = sorted.len();
+        assert!(n > 0, "empty cluster");
+        assert!(
+            endpoints >= n,
+            "transport has {endpoints} endpoints for {n} members"
+        );
+        let mut core = ReactorCore {
+            space,
+            protocol: protocol.clone(),
+            nodes: Vec::with_capacity(n),
+            policy,
+            endpoints,
+            seed,
+            next_payload: 1,
+            effects: CollectedEffects::new(),
+            tracer: Box::new(NopTracer),
+        };
+
+        let directory: HashMap<u64, ActorId> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.id.value(), ActorId(i)))
+            .collect();
+        let ids: Vec<Id> = sorted.iter().map(|m| m.id).collect();
+        // `partition_point` can return `n`; wrap to the ring's first
+        // member. `get`-based so the whole constructor stays index-safe.
+        let owner_of = |k: Id| -> Option<Member> {
+            let i = ids.partition_point(|&x| x < k);
+            sorted.get(if i == n { 0 } else { i }).copied()
+        };
+        for (i, m) in sorted.iter().enumerate() {
+            let mut actor = DhtActor::new(space, *m, protocol.clone());
+            let succs: Vec<Member> = (1..=SUCCESSOR_LIST_LEN.min(n.saturating_sub(1)).max(1))
+                .filter_map(|d| sorted.get((i + d) % n).copied())
+                .collect();
+            let pred = sorted.get((i + n - 1) % n).copied().unwrap_or(*m);
+            let targets = protocol.neighbor_targets(space, m);
+            let fingers: Vec<(Id, Member)> = targets
+                .iter()
+                .filter_map(|&t| owner_of(t).map(|owner| (t, owner)))
+                .collect();
+            actor.seed_state(succs, pred, fingers);
+            actor.set_directory(directory.clone());
+            core.nodes.push(NodeRuntime::new(i, actor, seed));
+        }
+        for i in 0..n {
+            core.arm_maintenance(SimTime::ZERO, i, i as u64 * 37, sink, counters);
+        }
+        core
+    }
+
+    /// Arms node `i`'s maintenance timers (used at bootstrap).
+    fn arm_maintenance(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        jitter: u64,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        let mut fx = std::mem::take(&mut self.effects);
+        {
+            let ReactorCore { nodes, tracer, .. } = self;
+            let Some(nd) = nodes.get_mut(i) else {
+                counters.internal_errors += 1;
+                self.effects = fx;
+                return;
+            };
+            let mut drv = EffectDriver {
+                me: ActorId(i),
+                effects: &mut fx,
+                rng: &mut nd.rng,
+                tracer: tracer.as_mut(),
+                now_micros: now.micros(),
+            };
+            nd.actor.arm_maintenance(&mut drv, jitter);
+        }
+        self.flush_effects(now, i, &mut fx, sink, counters);
+        fx.clear();
+        self.effects = fx;
+    }
+
+    /// Sets the base maintenance period on every node (see
+    /// [`DhtActor::set_stabilize_every`]).
+    pub fn set_maintenance_period(&mut self, every: Duration) {
+        for nd in &mut self.nodes {
+            nd.actor.set_stabilize_every(every);
+        }
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the core has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The runtime hosting node `i` (in ring order for seeded nodes, then
+    /// join order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` — node indices are part of the caller's
+    /// contract, exactly like slice indexing.
+    pub fn node(&self, i: usize) -> &NodeRuntime<P> {
+        self.node_at(i)
+    }
+
+    /// Exclusive access to node `i`; same contract as
+    /// [`ReactorCore::node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn node_mut(&mut self, i: usize) -> &mut NodeRuntime<P> {
+        self.node_at_mut(i)
+    }
+
+    /// Shared access to node `i`. The only raw `nodes[…]` index in the
+    /// reactor: every internal caller passes an index from a
+    /// `0..self.nodes.len()` loop or an iterator position, wire-derived
+    /// indices are bounds-checked before reaching here
+    /// ([`ReactorCore::handle_frame`]), and public entry points document
+    /// the panic as their caller contract.
+    fn node_at(&self, i: usize) -> &NodeRuntime<P> {
+        // cam-lint: allow(panic_safety, reason = "single audited index; callers pass loop-bounded or pre-checked indices, never raw wire input")
+        &self.nodes[i]
+    }
+
+    /// Exclusive access to node `i`; same index contract as
+    /// [`ReactorCore::node_at`].
+    fn node_at_mut(&mut self, i: usize) -> &mut NodeRuntime<P> {
+        // cam-lint: allow(panic_safety, reason = "single audited index; callers pass loop-bounded or pre-checked indices, never raw wire input")
+        &mut self.nodes[i]
+    }
+
+    /// Installs an event tracer (e.g. a `RecordingTracer`). Protocol
+    /// events from every node's actor and runtime-level events
+    /// (retransmits, crashes) flow into it, stamped with the host clock.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &dyn Tracer {
+        self.tracer.as_ref()
+    }
+
+    /// Exclusive access to the installed tracer.
+    pub fn tracer_mut(&mut self) -> &mut dyn Tracer {
+        self.tracer.as_mut()
+    }
+
+    /// Removes and returns the installed tracer, leaving a [`NopTracer`]
+    /// behind.
+    pub fn take_tracer(&mut self) -> Box<dyn Tracer> {
+        std::mem::replace(&mut self.tracer, Box::new(NopTracer))
+    }
+
+    /// Live (not crash-killed) nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|nd| nd.alive).count()
+    }
+
+    /// Crash-kills node `i`: its timers and retransmissions stop and
+    /// frames addressed to it are ignored, like a dead UDP host. Peers
+    /// discover the crash through failure detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn kill(&mut self, now: SimTime, i: usize) {
+        let nd = self.node_at_mut(i);
+        nd.alive = false;
+        nd.timers.clear();
+        nd.awaiting_ack.clear();
+        self.tracer.record(now.micros(), i as u64, EventKind::Crash);
+    }
+
+    /// Restarts a crashed node `i` with *fresh* state — the deployment
+    /// model of a host rebooting: same identity and endpoint, empty
+    /// routing tables and payload store, rejoining through a live peer.
+    /// The node's RNG stream and wire sequence numbers continue where they
+    /// left off, so restarts stay deterministic and old in-flight frames
+    /// cannot collide with new ones. Returns `false` if `i` is alive (a
+    /// running node cannot be restarted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn restart(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> bool {
+        if self.node_at(i).alive {
+            return false;
+        }
+        let member = *self.node_at(i).actor.member();
+        let mut actor = DhtActor::new(self.space, member, self.protocol.clone());
+        let directory: HashMap<u64, ActorId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(j, nd)| (nd.actor.member().id.value(), ActorId(j)))
+            .collect();
+        actor.set_directory(directory);
+        let nd = self.node_at_mut(i);
+        nd.actor = actor;
+        nd.alive = true;
+        nd.timers.clear();
+        nd.awaiting_ack.clear();
+        self.tracer
+            .record(now.micros(), i as u64, EventKind::Restart);
+        if let Some(bootstrap) = self.bootstrap_for(i) {
+            self.send_join_request(now, i, bootstrap, sink, counters);
+        }
+        true
+    }
+
+    /// The lowest-numbered live, joined node other than `exclude` — the
+    /// bootstrap peer for joins and restarts.
+    fn bootstrap_for(&self, exclude: usize) -> Option<usize> {
+        (0..self.nodes.len()).find(|&j| {
+            j != exclude && self.node_at(j).alive && self.node_at(j).actor.is_joined()
+        })
+    }
+
+    /// Re-sends a join request for every live node whose join has not
+    /// completed (join traffic is unacknowledged, so a lost request would
+    /// otherwise strand the joiner forever). Returns how many requests
+    /// were re-sent.
+    pub fn retry_stalled_joins(
+        &mut self,
+        now: SimTime,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> usize {
+        let mut retried = 0;
+        for i in 0..self.nodes.len() {
+            if !self.node_at(i).alive || self.node_at(i).actor.is_joined() {
+                continue;
+            }
+            if let Some(bootstrap) = self.bootstrap_for(i) {
+                self.send_join_request(now, i, bootstrap, sink, counters);
+                retried += 1;
+            }
+        }
+        retried
+    }
+
+    /// Adds `member` as a fresh node on the next free endpoint and starts
+    /// its join through the lowest-numbered live node. Returns the new
+    /// node's index, or `None` if the id is taken, no live bootstrap
+    /// exists, or the core is out of endpoints.
+    pub fn join(
+        &mut self,
+        now: SimTime,
+        member: Member,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> Option<usize> {
+        if self
+            .nodes
+            .iter()
+            .any(|nd| nd.actor.member().id == member.id)
+        {
+            return None;
+        }
+        let idx = self.nodes.len();
+        if idx >= self.endpoints {
+            return None;
+        }
+        let bootstrap = self.nodes.iter().position(|nd| nd.alive)?;
+        let mut actor = DhtActor::new(self.space, member, self.protocol.clone());
+        let mut directory: HashMap<u64, ActorId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| (nd.actor.member().id.value(), ActorId(i)))
+            .collect();
+        directory.insert(member.id.value(), ActorId(idx));
+        actor.set_directory(directory);
+        for nd in &mut self.nodes {
+            nd.actor.add_directory_entry(member.id, ActorId(idx));
+        }
+        self.nodes.push(NodeRuntime::new(idx, actor, self.seed));
+        self.send_join_request(now, idx, bootstrap, sink, counters);
+        Some(idx)
+    }
+
+    /// Re-sends node `joiner`'s join request through the first live,
+    /// joined node (used by the host's join-retry loop). Returns whether
+    /// a bootstrap existed.
+    pub fn resend_join_request(
+        &mut self,
+        now: SimTime,
+        joiner: usize,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> bool {
+        let Some(bootstrap) = self.bootstrap_for(joiner) else {
+            return false;
+        };
+        self.send_join_request(now, joiner, bootstrap, sink, counters);
+        true
+    }
+
+    fn send_join_request(
+        &mut self,
+        now: SimTime,
+        joiner: usize,
+        bootstrap: usize,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        let msg = DhtMsg::JoinRequest {
+            joiner: *self.node_at(joiner).actor.member(),
+            joiner_actor: ActorId(joiner),
+        };
+        self.send_msg(now, joiner, ActorId(bootstrap), msg, sink, counters);
+    }
+
+    /// Initiates a multicast at node `source` carrying `data`, returning
+    /// the payload id. `region_split` chooses CAM-Chord region multicast
+    /// over constrained flooding, as in the sim harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= self.len()`.
+    pub fn start_multicast(
+        &mut self,
+        now: SimTime,
+        source: usize,
+        region_split: bool,
+        data: bytes::Bytes,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> u64 {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let member_id = self.node_at(source).actor.member().id;
+        let region = region_split.then(|| Segment::all_but(self.space, member_id));
+        self.dispatch(
+            now,
+            source,
+            ActorId(source),
+            DhtMsg::Multicast {
+                payload,
+                region,
+                hops: 0,
+                data,
+            },
+            sink,
+            counters,
+        );
+        payload
+    }
+
+    /// Subscribes node `subscriber` to pub/sub group `group`: its local
+    /// delivery filter flips immediately and the membership routes over
+    /// the wire to the group's rendezvous root — the same message flow as
+    /// the sim harness, so censuses from both hosts are comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscriber >= self.len()`.
+    pub fn subscribe(
+        &mut self,
+        now: SimTime,
+        subscriber: usize,
+        group: u64,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        let member = self.node_at(subscriber).actor.member().id.value();
+        self.dispatch(
+            now,
+            subscriber,
+            ActorId(subscriber),
+            DhtMsg::GroupSubscribe { group, member },
+            sink,
+            counters,
+        );
+    }
+
+    /// Removes node `subscriber`'s subscription to `group` (routed like
+    /// [`ReactorCore::subscribe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscriber >= self.len()`.
+    pub fn unsubscribe(
+        &mut self,
+        now: SimTime,
+        subscriber: usize,
+        group: u64,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        let member = self.node_at(subscriber).actor.member().id.value();
+        self.dispatch(
+            now,
+            subscriber,
+            ActorId(subscriber),
+            DhtMsg::GroupUnsubscribe { group, member },
+            sink,
+            counters,
+        );
+    }
+
+    /// Initiates a publish in `group` at node `source`, returning the
+    /// payload id. Forwarded like a multicast (acked, retransmitted), but
+    /// only subscribers deliver it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= self.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_group_publish(
+        &mut self,
+        now: SimTime,
+        source: usize,
+        group: u64,
+        region_split: bool,
+        data: bytes::Bytes,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> u64 {
+        let payload = self.next_payload;
+        self.next_payload += 1;
+        let member_id = self.node_at(source).actor.member().id;
+        let region = region_split.then(|| Segment::all_but(self.space, member_id));
+        self.dispatch(
+            now,
+            source,
+            ActorId(source),
+            DhtMsg::GroupPublish {
+                group,
+                payload,
+                region,
+                hops: 0,
+                data,
+            },
+            sink,
+            counters,
+        );
+        payload
+    }
+
+    /// Folds the given `(group, payload)` publishes into a per-group
+    /// [`GroupDeliveryCensus`] over each group's live subscribers — the
+    /// same fold as the sim harness's `group_delivery_census`, so equal
+    /// seeds produce bit-identical censuses across hosts.
+    pub fn group_delivery_census(&self, publishes: &[(u64, u64)]) -> GroupDeliveryCensus {
+        let mut census = GroupDeliveryCensus::new();
+        for nd in &self.nodes {
+            if nd.alive {
+                for &(group, payload) in publishes {
+                    if nd.actor.is_subscribed(group) {
+                        census.observe(group, true, nd.actor.has_group_payload(group, payload));
+                    }
+                }
+            }
+        }
+        census
+    }
+
+    /// Fraction of live nodes that have received `payload`, under the
+    /// same [`DeliveryCensus`] rules the sim harness uses, so ratios from
+    /// both hosts are directly comparable.
+    pub fn delivery_ratio(&self, payload: u64) -> f64 {
+        let mut census = DeliveryCensus::new();
+        for nd in &self.nodes {
+            census.observe(nd.alive, nd.actor.payload_hops(payload).is_some());
+        }
+        census.ratio()
+    }
+
+    /// Mean overlay hop count of `payload` over nodes that received it.
+    pub fn mean_hops(&self, payload: u64) -> f64 {
+        let (mut total, mut count) = (0u64, 0u64);
+        for nd in &self.nodes {
+            if let Some(h) = nd.actor.payload_hops(payload) {
+                total += u64::from(h);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Maximum overlay hop count of `payload` over nodes that received it.
+    pub fn max_hops(&self, payload: u64) -> u32 {
+        self.nodes
+            .iter()
+            .filter_map(|nd| nd.actor.payload_hops(payload))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The earliest instant [`ReactorCore::poll`] has work — the minimum
+    /// over every live node's next timer and next retransmission. `None`
+    /// when the core is fully quiescent.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        let mut next = None;
+        for nd in &self.nodes {
+            next = match (next, nd.next_deadline()) {
+                (Some(a), Some(b)) => Some(SimTime::min(a, b)),
+                (a, b) => a.or(b),
+            };
+        }
+        next
+    }
+
+    /// One received datagram: decode, acknowledge if required, deliver to
+    /// the addressed actor. Frames the actor produced land in `sink`;
+    /// decode/encode outcomes are counted into `counters`.
+    pub fn handle_frame(
+        &mut self,
+        now: SimTime,
+        to: usize,
+        bytes: &[u8],
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        if to >= self.nodes.len() {
+            // The transport may own more endpoints than attached nodes
+            // (spare sockets held for `join`); a datagram arriving on a
+            // spare endpoint has no node to deliver to. Real sockets can
+            // see this from any stray sender — count it, never index.
+            counters.internal_errors += 1;
+            return;
+        }
+        match decode_frame(bytes) {
+            Err(_) => counters.frames_rejected += 1,
+            Ok(Frame::Ack { seq, .. }) => {
+                counters.frames_decoded += 1;
+                self.node_at_mut(to).awaiting_ack.remove(&seq);
+            }
+            Ok(Frame::Data {
+                from,
+                seq,
+                ack_required,
+                msg,
+            }) => {
+                counters.frames_decoded += 1;
+                let from = from as usize;
+                if from >= self.nodes.len() {
+                    // Envelope names an endpoint we never attached — a
+                    // stale or corrupt-but-parseable frame. Ignore it.
+                    counters.frames_rejected += 1;
+                    return;
+                }
+                if ack_required {
+                    let mut buf = sink.alloc();
+                    match encode_frame_into(
+                        &Frame::Ack {
+                            from: to as u64,
+                            seq,
+                        },
+                        &mut buf,
+                    ) {
+                        Ok(()) => {
+                            counters.frames_encoded += 1;
+                            sink.push(to, from, buf);
+                        }
+                        // An ack is a few bytes; failing to encode one is
+                        // an internal bug — counted, not fatal.
+                        Err(_) => {
+                            counters.internal_errors += 1;
+                            sink.give_back(buf);
+                        }
+                    }
+                }
+                if self.node_at(to).alive {
+                    self.dispatch(now, to, ActorId(from), msg, sink, counters);
+                }
+            }
+        }
+    }
+
+    /// Feeds `msg` to node `i`'s actor and flushes the effects.
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        from: ActorId,
+        msg: DhtMsg,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        let mut fx = std::mem::take(&mut self.effects);
+        {
+            let ReactorCore { nodes, tracer, .. } = self;
+            let Some(nd) = nodes.get_mut(i) else {
+                counters.internal_errors += 1;
+                self.effects = fx;
+                return;
+            };
+            let mut drv = EffectDriver {
+                me: ActorId(i),
+                effects: &mut fx,
+                rng: &mut nd.rng,
+                tracer: tracer.as_mut(),
+                now_micros: now.micros(),
+            };
+            nd.actor.deliver(&mut drv, from, msg);
+        }
+        self.flush_effects(now, i, &mut fx, sink, counters);
+        fx.clear();
+        self.effects = fx;
+    }
+
+    /// Turns collected effects into frames in the sink and timer-heap
+    /// entries.
+    fn flush_effects(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        fx: &mut CollectedEffects,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        for (delay, tag) in fx.timers.drain(..) {
+            let at = now + delay;
+            self.node_at_mut(i).push_timer(at, tag);
+        }
+        for (to, msg) in fx.sends.drain(..) {
+            self.send_msg(now, i, to, msg, sink, counters);
+        }
+    }
+
+    /// Encodes `msg` as a DATA frame from node `i` and pushes it into the
+    /// sink; payload frames additionally enter the retransmit buffer.
+    fn send_msg(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        to: ActorId,
+        msg: DhtMsg,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) {
+        let to = to.index();
+        if to >= self.endpoints {
+            return; // stale address: lost, like the sim's unknown actor
+        }
+        let needs_ack = matches!(
+            msg,
+            DhtMsg::Multicast { .. } | DhtMsg::PayloadPush { .. } | DhtMsg::GroupPublish { .. }
+        );
+        let nd = self.node_at_mut(i);
+        let seq = nd.next_seq;
+        nd.next_seq += 1;
+        let frame = Frame::Data {
+            from: i as u64,
+            seq,
+            ack_required: needs_ack,
+            msg,
+        };
+        let mut buf = sink.alloc();
+        match encode_frame_into(&frame, &mut buf) {
+            Err(_) => {
+                // Too large for one frame (e.g. an oversized payload or
+                // digest): counted, not sent. Anti-entropy will not help
+                // here either — the payload itself must fit.
+                counters.encode_oversize += 1;
+                sink.give_back(buf);
+            }
+            Ok(()) => {
+                counters.frames_encoded += 1;
+                if needs_ack {
+                    let pending = PendingAck {
+                        to,
+                        frame: buf.clone(),
+                        attempts: 1,
+                        rto: self.policy.initial_rto,
+                        next_at: now + self.policy.initial_rto,
+                    };
+                    self.node_at_mut(i).awaiting_ack.insert(seq, pending);
+                }
+                sink.push(i, to, buf);
+            }
+        }
+    }
+
+    /// Fires every timer and retransmission due at or before `now`,
+    /// across all nodes in index order (the same order the legacy loop
+    /// pumped them, so deterministic runs stay bit-identical). Returns
+    /// whether anything fired.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> bool {
+        let mut did = false;
+        for i in 0..self.nodes.len() {
+            did |= self.pump_node(now, i, sink, counters);
+        }
+        did
+    }
+
+    /// Fires node `i`'s due timers and retransmissions. Returns whether
+    /// anything fired.
+    fn pump_node(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        sink: &mut FrameSink,
+        counters: &mut WireCounters,
+    ) -> bool {
+        let mut did = false;
+        while let Some(&Reverse((at, _, tag))) = self.node_at(i).timers.peek() {
+            if at > now {
+                break;
+            }
+            self.node_at_mut(i).timers.pop();
+            if !self.node_at(i).alive {
+                continue;
+            }
+            did = true;
+            let mut fx = std::mem::take(&mut self.effects);
+            {
+                let ReactorCore { nodes, tracer, .. } = self;
+                let Some(nd) = nodes.get_mut(i) else {
+                    counters.internal_errors += 1;
+                    self.effects = fx;
+                    return did;
+                };
+                let mut drv = EffectDriver {
+                    me: ActorId(i),
+                    effects: &mut fx,
+                    rng: &mut nd.rng,
+                    tracer: tracer.as_mut(),
+                    now_micros: now.micros(),
+                };
+                nd.actor.deliver_timer(&mut drv, tag);
+            }
+            self.flush_effects(now, i, &mut fx, sink, counters);
+            fx.clear();
+            self.effects = fx;
+        }
+        if !self.node_at(i).alive {
+            return did;
+        }
+        let mut due: Vec<u64> = self
+            .node_at(i)
+            .awaiting_ack
+            .iter()
+            .filter(|(_, p)| p.next_at <= now)
+            .map(|(&seq, _)| seq)
+            .collect();
+        // HashMap iteration order is per-instance random; retransmit in
+        // sequence order so virtual-time runs stay deterministic.
+        due.sort_unstable();
+        for seq in due {
+            did = true;
+            let policy = self.policy;
+            let Some(p) = self.node_at_mut(i).awaiting_ack.get_mut(&seq) else {
+                continue; // acked between collection and retransmission
+            };
+            if p.attempts >= policy.max_attempts {
+                self.node_at_mut(i).awaiting_ack.remove(&seq);
+                continue;
+            }
+            p.attempts += 1;
+            p.rto = p.rto.saturating_mul(2).min(policy.max_rto);
+            p.next_at = now + p.rto;
+            let to = p.to;
+            let (attempt, rto) = (p.attempts - 1, p.rto);
+            let mut buf = sink.alloc();
+            buf.extend_from_slice(&p.frame);
+            counters.frames_retransmitted += 1;
+            self.tracer.record(
+                now.micros(),
+                i as u64,
+                EventKind::Retransmit {
+                    to: to as u64,
+                    wire_seq: seq,
+                    attempt,
+                    rto_micros: rto.micros(),
+                },
+            );
+            sink.push(i, to, buf);
+        }
+        did
+    }
+}
+
+impl<P: DhtProtocol> std::fmt::Debug for ReactorCore<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorCore")
+            .field("nodes", &self.nodes.len())
+            .field("endpoints", &self.endpoints)
+            .field("next_payload", &self.next_payload)
+            .finish_non_exhaustive()
+    }
+}

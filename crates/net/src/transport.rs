@@ -35,9 +35,16 @@ pub struct WireCounters {
     /// single frame and were therefore never offered to the wire. A
     /// send-side counter — the peer never sees these.
     pub encode_oversize: u64,
-    /// Frames lost in transit (in-memory loss injection, or a socket send
-    /// that errored).
+    /// Frames genuinely lost in transit (in-memory loss injection, a
+    /// socket send that *failed* — not one that would merely block — or a
+    /// backpressure queue overflowing). Transient `WouldBlock` sends are
+    /// counted in [`WireCounters::send_backpressure`] and retried, never
+    /// here: conflating the two overstated real-wire loss.
     pub frames_dropped: u64,
+    /// Sends deferred because the socket's buffer was momentarily full
+    /// (`ErrorKind::WouldBlock`). These frames are queued and retried on
+    /// writability — they are *not* losses.
+    pub send_backpressure: u64,
     /// Retransmissions of unacknowledged frames.
     pub frames_retransmitted: u64,
     /// Internal invariant violations absorbed gracefully instead of
@@ -45,6 +52,22 @@ pub struct WireCounters {
     /// range, a frame for an endpoint that was never bound). Nonzero
     /// values indicate a runtime bug — counted, never fatal.
     pub internal_errors: u64,
+}
+
+/// An encoded frame queued by the reactor core for a transport to ship:
+/// `buf` travels from endpoint `from` to endpoint `to`.
+///
+/// Buffers are owned by the reactor's `FrameSink` pool: the transport
+/// borrows them during [`Transport::send_batch`] and the sink recycles
+/// them afterwards, so the steady-state send path allocates nothing.
+#[derive(Debug)]
+pub struct OutFrame {
+    /// Source endpoint.
+    pub from: usize,
+    /// Destination endpoint.
+    pub to: usize,
+    /// The encoded frame bytes.
+    pub buf: Vec<u8>,
 }
 
 /// A bidirectional frame mover between `endpoints()` numbered endpoints.
@@ -86,6 +109,70 @@ pub trait Transport {
     /// Mutable counters, for the runtime to account frame encode/decode
     /// outcomes on the transport they belong to.
     fn counters_mut(&mut self) -> &mut WireCounters;
+
+    /// Ships a batch of frames **in order** (sendmmsg-style aggregation
+    /// where the transport supports it). Order matters: deterministic
+    /// transports assign delivery sequence from send order, which is what
+    /// keeps the reactor path bit-identical to the legacy inline-send
+    /// loop. The default simply loops [`Transport::send`].
+    fn send_batch(&mut self, now: SimTime, frames: &[OutFrame]) {
+        for f in frames {
+            self.send(now, f.from, f.to, &f.buf);
+        }
+    }
+
+    /// Drains up to `max` ready frames into `out` in one call (batched
+    /// recv). Returns how many were appended. The default loops
+    /// [`Transport::poll`].
+    fn poll_batch(
+        &mut self,
+        now: SimTime,
+        max: usize,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.poll(now) {
+                Some(frame) => {
+                    out.push(frame);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Returns a receive buffer to the transport's pool once the runtime
+    /// has consumed it. Default: drop it.
+    fn recycle(&mut self, _buf: Vec<u8>) {}
+
+    /// Parks the calling thread until a frame may be readable or `dur`
+    /// elapses, returning `true` if woken by readiness. Transports without
+    /// a readiness mechanism just sleep (`supports_readiness` stays
+    /// `false` and the wire loop caps the park so sockets are re-probed).
+    fn wait(&mut self, dur: std::time::Duration) -> bool {
+        std::thread::sleep(dur);
+        false
+    }
+
+    /// Whether [`Transport::wait`] wakes early when a frame arrives. When
+    /// `true`, the wire loop sleeps exactly until
+    /// `min(next timer, next RTO, deadline)` with no polling cadence.
+    fn supports_readiness(&self) -> bool {
+        false
+    }
+
+    /// Retries sends parked in the backpressure queue (if any). Returns
+    /// whether any frame made progress.
+    fn flush_backpressure(&mut self, _now: SimTime) -> bool {
+        false
+    }
+
+    /// Whether sends are currently queued awaiting socket writability.
+    fn has_backpressure(&self) -> bool {
+        false
+    }
 }
 
 /// A frame in flight on the in-memory wire.

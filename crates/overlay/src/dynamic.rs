@@ -21,9 +21,10 @@ use std::collections::HashMap;
 
 use cam_ring::{Id, IdSpace, Segment};
 use cam_sim::engine::{Actor, ActorId, Context};
+use cam_sim::rng::SimRng;
 use cam_sim::time::Duration;
 use cam_sim::{LatencyModel, Simulation};
-use cam_trace::{DeliveryCensus, EventKind, GroupDeliveryCensus};
+use cam_trace::{DeliveryCensus, EventKind, GroupDeliveryCensus, Tracer};
 
 use crate::Member;
 
@@ -97,6 +98,88 @@ impl DhtDriver for Context<'_, DhtMsg> {
 
     fn trace(&mut self, kind: EventKind) {
         Context::trace(self, kind)
+    }
+}
+
+/// Buffered actor effects: the sends and timer requests one
+/// [`DhtActor::deliver`] / [`DhtActor::deliver_timer`] call produced,
+/// collected for a host that separates *running the actor* from
+/// *performing the I/O*. This is the heart of the sans-I/O contract:
+/// cam-net's reactor core drives actors through an [`EffectDriver`]
+/// writing here, then turns the buffered effects into wire frames and
+/// timer-heap entries afterwards, outside the actor borrow.
+#[derive(Debug, Default)]
+pub struct CollectedEffects {
+    /// Outgoing `(destination, message)` pairs, in emission order. Hosts
+    /// must preserve this order when shipping — deterministic transports
+    /// assign delivery sequence numbers from it.
+    pub sends: Vec<(ActorId, DhtMsg)>,
+    /// One-shot timer requests as `(delay, tag)`, in emission order.
+    pub timers: Vec<(Duration, u64)>,
+}
+
+impl CollectedEffects {
+    /// An empty effect buffer.
+    pub fn new() -> Self {
+        CollectedEffects::default()
+    }
+
+    /// Whether no effects are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty()
+    }
+
+    /// Drops all buffered effects (capacity is kept for reuse).
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+    }
+}
+
+/// A [`DhtDriver`] that buffers effects into [`CollectedEffects`] instead
+/// of performing them — the bridge between the pure actor and a poll-style
+/// host. The host lends the actor's RNG stream and its tracer for the
+/// duration of one delivery; trace events are stamped with `now_micros`
+/// (the host's clock, pre-read so the driver itself never touches a
+/// clock).
+pub struct EffectDriver<'a> {
+    /// The hosted actor's own address.
+    pub me: ActorId,
+    /// Where emitted sends and timers land.
+    pub effects: &'a mut CollectedEffects,
+    /// The actor's private RNG stream.
+    pub rng: &'a mut SimRng,
+    /// The host's tracer (protocol events carry the host clock).
+    pub tracer: &'a mut dyn Tracer,
+    /// Host clock at delivery, in microseconds.
+    pub now_micros: u64,
+}
+
+impl DhtDriver for EffectDriver<'_> {
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, to: ActorId, msg: DhtMsg) {
+        self.effects.sends.push((to, msg));
+    }
+
+    fn set_timer(&mut self, delay: Duration, tag: u64) {
+        self.effects.timers.push((delay, tag));
+    }
+
+    fn random_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0, "random_index over an empty range");
+        self.rng.uniform_incl(0, len as u64 - 1) as usize
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    fn trace(&mut self, kind: EventKind) {
+        self.tracer
+            .record(self.now_micros, self.me.index() as u64, kind);
     }
 }
 
