@@ -4,16 +4,19 @@
 //! ```text
 //! cam-chaos [--preset small|default|torture] [--seeds N] [--start-seed S]
 //!           [--host net|sim|both] [--bundle-dir DIR] [--no-shrink]
+//! cam-chaos --adversary [--seeds N] [--start-seed S] [--report FILE]
 //! cam-chaos --replay FILE
 //! ```
 //!
 //! Exit code 0 = every seed passed every oracle; 1 = at least one
 //! violation (for `--replay`, 1 means the bundle reproduced its failure,
-//! which is the expected outcome when investigating).
+//! which is the expected outcome when investigating). `--adversary`
+//! additionally fails if any behavior's detection rate falls below the
+//! 90% bar among seeds where it activated.
 
 use std::process::ExitCode;
 
-use cam_chaos::{run_plan, shrink_plan, FaultPlan, HostKind, ReplayBundle};
+use cam_chaos::{robustness_report, run_plan, shrink_plan, FaultPlan, HostKind, ReplayBundle};
 
 struct Args {
     preset: String,
@@ -24,6 +27,8 @@ struct Args {
     shrink: bool,
     dump: bool,
     replay: Option<String>,
+    adversary: bool,
+    report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         shrink: true,
         dump: false,
         replay: None,
+        adversary: false,
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,11 +72,14 @@ fn parse_args() -> Result<Args, String> {
             "--no-shrink" => args.shrink = false,
             "--dump" => args.dump = true,
             "--replay" => args.replay = Some(value("--replay")?),
+            "--adversary" => args.adversary = true,
+            "--report" => args.report = Some(value("--report")?),
             "--help" | "-h" => {
                 println!(
                     "usage: cam-chaos [--preset small|default|torture] [--seeds N] \
                      [--start-seed S] [--host net|sim|both] [--bundle-dir DIR] \
-                     [--no-shrink] | --replay FILE"
+                     [--no-shrink] | --adversary [--seeds N] [--start-seed S] \
+                     [--report FILE] | --replay FILE"
                 );
                 std::process::exit(0);
             }
@@ -102,6 +112,48 @@ fn replay(path: &str) -> Result<bool, String> {
     Ok(!report.passed())
 }
 
+/// `--adversary`: sweep every Byzantine behavior over the seed range,
+/// print one summary line per behavior, optionally write the markdown
+/// robustness report. Fails on any degraded-oracle violation or any
+/// behavior detected in fewer than 90% of its activated seeds.
+fn adversary_sweep(args: &Args) -> ExitCode {
+    let (markdown, rows) = robustness_report(args.start_seed, args.seeds as usize);
+    let mut ok = true;
+    for r in &rows {
+        let bar = r.detection_rate_ok();
+        let oracles_ok = r.failed_seeds == 0;
+        ok &= bar && oracles_ok;
+        println!(
+            "{:<17} activated {:>2}/{} detected {:>2}/{} hits {:>5} oracles {} detection-bar {}",
+            r.behavior.name(),
+            r.activated,
+            r.seeds,
+            r.detected,
+            r.activated,
+            r.detections_total,
+            if oracles_ok {
+                "pass".to_string()
+            } else {
+                format!("FAIL({} seeds)", r.failed_seeds)
+            },
+            if bar { "pass" } else { "FAIL" },
+        );
+    }
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, &markdown) {
+            eprintln!("cam-chaos: could not write report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("robustness report: {path}");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        println!("adversary sweep FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -110,6 +162,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.adversary {
+        return adversary_sweep(&args);
+    }
 
     if let Some(path) = &args.replay {
         return match replay(path) {

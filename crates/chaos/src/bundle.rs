@@ -18,8 +18,10 @@ use std::fmt::Write as _;
 use cam_overlay::Member;
 use cam_ring::Id;
 
+use cam_overlay::ByzantineBehavior;
+
 use crate::harness::HostKind;
-use crate::plan::{FaultEvent, FaultKind, FaultPlan, ProtocolChoice};
+use crate::plan::{AdversarySpec, FaultEvent, FaultKind, FaultPlan, ProtocolChoice};
 
 /// Magic first line; bump the version when the format changes.
 const MAGIC: &str = "camchaos-bundle v1";
@@ -58,6 +60,17 @@ impl ReplayBundle {
         let _ = writeln!(out, "loss_base_per_mille={}", p.loss_base_per_mille);
         let _ = writeln!(out, "settle_secs={}", p.settle_secs);
         let _ = writeln!(out, "final_wait_secs={}", p.final_wait_secs);
+        // Optional header: only adversary plans carry it, so crash-only
+        // bundles stay byte-identical to the pre-adversary format.
+        if let Some(adv) = &p.adversary {
+            let _ = writeln!(
+                out,
+                "adversary={} {} {}",
+                adv.node,
+                adv.behavior.name(),
+                adv.seed
+            );
+        }
         let _ = writeln!(out, "events={}", p.events.len());
         for e in &p.events {
             let _ = write!(out, "e {} ", e.at_micros);
@@ -177,7 +190,35 @@ impl ReplayBundle {
             parse_u64(&header(&mut rest, "loss_base_per_mille")?, "loss")? as u16;
         let settle_secs = parse_u64(&header(&mut rest, "settle_secs")?, "settle")?;
         let final_wait_secs = parse_u64(&header(&mut rest, "final_wait_secs")?, "final wait")?;
-        let n_events = parse_u64(&header(&mut rest, "events")?, "event count")? as usize;
+        // `adversary=` is optional: peek the next line and fall through to
+        // the mandatory `events=` header when absent.
+        let mut adversary = None;
+        let events_line = {
+            let line = next_line(&mut rest).ok_or("missing header `events`")?;
+            if let Some(spec) = line.strip_prefix("adversary=") {
+                let mut parts = spec.split(' ');
+                let node =
+                    parse_u64(parts.next().ok_or("adversary: missing node")?, "node")? as u32;
+                let name = parts.next().ok_or("adversary: missing behavior")?;
+                let behavior = ByzantineBehavior::from_name(name)
+                    .ok_or_else(|| format!("unknown behavior `{name}`"))?;
+                let seed = parse_u64(parts.next().ok_or("adversary: missing seed")?, "seed")?;
+                adversary = Some(AdversarySpec {
+                    node,
+                    behavior,
+                    seed,
+                });
+                next_line(&mut rest).ok_or("missing header `events`")?
+            } else {
+                line
+            }
+        };
+        let n_events = parse_u64(
+            events_line
+                .strip_prefix("events=")
+                .ok_or_else(|| format!("expected `events=...`, got `{events_line}`"))?,
+            "event count",
+        )? as usize;
 
         let mut events = Vec::with_capacity(n_events);
         for _ in 0..n_events {
@@ -288,6 +329,7 @@ impl ReplayBundle {
                 loss_base_per_mille,
                 settle_secs,
                 final_wait_secs,
+                adversary,
                 events,
             },
             host,
@@ -399,6 +441,34 @@ mod tests {
             let parsed = ReplayBundle::from_text(&bundle.to_text()).expect("parses");
             assert_eq!(parsed.plan, plan);
         }
+    }
+
+    #[test]
+    fn adversary_plans_round_trip_for_every_behavior() {
+        for (i, behavior) in ByzantineBehavior::ALL.into_iter().enumerate() {
+            let plan = FaultPlan::adversary_plan(40 + i as u64, behavior);
+            assert!(plan.adversary.is_some());
+            let bundle = ReplayBundle {
+                plan: plan.clone(),
+                host: HostKind::Sim,
+                trace_json: None,
+            };
+            let text = bundle.to_text();
+            assert!(text.contains(&format!("adversary=")), "header emitted");
+            assert!(text.contains(behavior.name()), "behavior name serialized");
+            let parsed = ReplayBundle::from_text(&text).expect("parses");
+            assert_eq!(parsed.plan, plan);
+        }
+    }
+
+    #[test]
+    fn adversary_free_bundles_omit_the_header() {
+        let bundle = ReplayBundle {
+            plan: FaultPlan::small(3),
+            host: HostKind::Net,
+            trace_json: None,
+        };
+        assert!(!bundle.to_text().contains("adversary="));
     }
 
     #[test]

@@ -33,11 +33,11 @@ use cam_sim::LatencyModel;
 use cam_trace::{EventKind, RecordingTracer, TraceEvent};
 
 use crate::oracle::{
-    census_of, check_cleanup, check_cross_group_capacity, check_delivery,
-    check_duplicate_suppression, check_forward_cycles, check_join_completion,
-    check_neighbor_ideal, check_ring_convergence, NodeSnapshot, Violation,
+    census_of, check_cleanup_degraded, check_cross_group_capacity, check_delivery_degraded,
+    check_duplicate_suppression, check_forward_cycles, check_join_completion_degraded,
+    check_neighbor_ideal_degraded, check_ring_convergence_degraded, NodeSnapshot, Violation,
 };
-use crate::plan::{FaultKind, FaultPlan, ProtocolChoice};
+use crate::plan::{AdversarySpec, FaultKind, FaultPlan, ProtocolChoice};
 
 /// Which execution substrate runs the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +79,10 @@ pub struct ChaosReport {
     pub trace_json: Option<String>,
     /// Final per-node state, in node-index order (what the oracles saw).
     pub snapshots: Vec<NodeSnapshot>,
+    /// Adversary timeline extracted from the trace (recording runs only):
+    /// `(at_micros, is_detection, label)` — label is the behavior name
+    /// for acts and the detector name for detections, in trace order.
+    pub adversary_events: Vec<(u64, bool, &'static str)>,
 }
 
 impl ChaosReport {
@@ -313,11 +317,19 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
             final_payload.into_iter().collect()
         };
         if !aborted {
-            violations.extend(check_delivery(&snaps, &required));
-            violations.extend(check_join_completion(&snaps));
-            violations.extend(check_ring_convergence(&snaps));
-            violations.extend(check_neighbor_ideal(&snaps, &|m| host.neighbor_targets(m)));
-            violations.extend(check_cleanup(&snaps, kind == HostKind::Net));
+            // With no planned adversary every `_degraded` check is
+            // exactly its base oracle; with one, the run is judged by
+            // the degraded catalog (see oracle.rs module docs).
+            let adv: Option<&AdversarySpec> = plan.adversary.as_ref();
+            violations.extend(check_delivery_degraded(&snaps, &required, adv));
+            violations.extend(check_join_completion_degraded(&snaps, adv));
+            violations.extend(check_ring_convergence_degraded(&snaps, adv));
+            violations.extend(check_neighbor_ideal_degraded(
+                &snaps,
+                &|m| host.neighbor_targets(m),
+                adv,
+            ));
+            violations.extend(check_cleanup_degraded(&snaps, kind == HostKind::Net, adv));
             violations.extend(check_cross_group_capacity(registry.ledger()));
         }
     } else {
@@ -357,6 +369,12 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
         }
         h.u64(s.unacked as u64);
         h.u64(s.armed_timers as u64);
+        h.u64(s.detections.region_violations);
+        h.u64(s.detections.capacity_forgeries);
+        h.u64(s.detections.replay_suspects);
+        h.u64(s.detections.stale_claims);
+        h.u64(s.detections.repair_recoveries);
+        h.u64(s.adversary_acts);
     }
     for &(p, live, delivered) in &census {
         h.u64(p);
@@ -384,6 +402,16 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
         }
     }
 
+    let adversary_events: Vec<(u64, bool, &'static str)> = host
+        .trace_events()
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::AdversaryAct { behavior, .. } => Some((ev.at_micros, false, behavior)),
+            EventKind::AdversaryDetect { detector, .. } => Some((ev.at_micros, true, detector)),
+            _ => None,
+        })
+        .collect();
+
     ChaosReport {
         host: kind,
         fingerprint: h.finish(),
@@ -393,6 +421,7 @@ fn drive<H: ChaosHost>(plan: &FaultPlan, host: &mut H, kind: HostKind) -> ChaosR
         events_applied: applied,
         trace_json: host.trace_json(),
         snapshots: snaps,
+        adversary_events,
     }
 }
 
@@ -410,6 +439,7 @@ struct NetHost<P: DhtProtocol> {
     protocol: P,
     region_split: bool,
     anti_entropy: bool,
+    adversary: Option<AdversarySpec>,
     recording: bool,
 }
 
@@ -434,11 +464,20 @@ impl<P: DhtProtocol> NetHost<P> {
                 cluster.node_mut(i).actor_mut().set_anti_entropy(true);
             }
         }
+        if let Some(adv) = plan.adversary {
+            if (adv.node as usize) < cluster.len() {
+                cluster
+                    .node_mut(adv.node as usize)
+                    .actor_mut()
+                    .attach_adversary(adv.behavior, adv.seed);
+            }
+        }
         NetHost {
             cluster,
             protocol,
             region_split: plan.region_split,
             anti_entropy: plan.anti_entropy,
+            adversary: plan.adversary,
             recording: record,
         }
     }
@@ -483,11 +522,23 @@ impl<P: DhtProtocol> ChaosHost for NetHost<P> {
     }
 
     fn restart(&mut self, node: usize) {
-        if self.cluster.restart(node) && self.anti_entropy {
-            self.cluster
-                .node_mut(node)
-                .actor_mut()
-                .set_anti_entropy(true);
+        if self.cluster.restart(node) {
+            if self.anti_entropy {
+                self.cluster
+                    .node_mut(node)
+                    .actor_mut()
+                    .set_anti_entropy(true);
+            }
+            // A restarted adversary stays Byzantine: re-attach with the
+            // planned seed so replays remain deterministic.
+            if let Some(adv) = self.adversary {
+                if adv.node as usize == node {
+                    self.cluster
+                        .node_mut(node)
+                        .actor_mut()
+                        .attach_adversary(adv.behavior, adv.seed);
+                }
+            }
         }
     }
 
@@ -556,6 +607,8 @@ impl<P: DhtProtocol> ChaosHost for NetHost<P> {
                     seen: a.payloads_received(),
                     unacked: nd.unacked_frames(),
                     armed_timers: nd.armed_timers(),
+                    detections: a.detections(),
+                    adversary_acts: a.adversary().map_or(0, |s| s.acts),
                 }
             })
             .collect()
@@ -615,6 +668,7 @@ struct SimHost<P: DhtProtocol> {
     protocol: P,
     region_split: bool,
     anti_entropy: bool,
+    adversary: Option<AdversarySpec>,
     recording: bool,
 }
 
@@ -635,11 +689,19 @@ impl<P: DhtProtocol> SimHost<P> {
         if plan.anti_entropy {
             net.enable_anti_entropy();
         }
+        if let Some(adv) = plan.adversary {
+            if let Some(&(_, aid)) = net.actors().get(adv.node as usize) {
+                if let Some(a) = net.sim.actor_mut(aid) {
+                    a.attach_adversary(adv.behavior, adv.seed);
+                }
+            }
+        }
         SimHost {
             net,
             protocol,
             region_split: plan.region_split,
             anti_entropy: plan.anti_entropy,
+            adversary: plan.adversary,
             recording: record,
         }
     }
@@ -714,6 +776,13 @@ impl<P: DhtProtocol> ChaosHost for SimHost<P> {
                     a.set_anti_entropy(true);
                 }
             }
+            if let Some(adv) = self.adversary {
+                if adv.node as usize == node {
+                    if let Some(a) = self.net.sim.actor_mut(aid) {
+                        a.attach_adversary(adv.behavior, adv.seed);
+                    }
+                }
+            }
         }
     }
 
@@ -782,6 +851,8 @@ impl<P: DhtProtocol> ChaosHost for SimHost<P> {
                     seen: a.payloads_received(),
                     unacked: 0,
                     armed_timers: 0,
+                    detections: a.detections(),
+                    adversary_acts: a.adversary().map_or(0, |s| s.acts),
                 },
                 None => NodeSnapshot {
                     index: i,
@@ -795,6 +866,8 @@ impl<P: DhtProtocol> ChaosHost for SimHost<P> {
                     seen: 0,
                     unacked: 0,
                     armed_timers: 0,
+                    detections: cam_overlay::DetectionCounters::default(),
+                    adversary_acts: 0,
                 },
             })
             .collect()

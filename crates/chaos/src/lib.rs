@@ -22,10 +22,12 @@ pub mod bundle;
 pub mod harness;
 pub mod oracle;
 pub mod plan;
+pub mod report;
 pub mod shrink;
 
 pub use bundle::ReplayBundle;
 pub use harness::{run_plan, ChaosReport, HostKind};
 pub use oracle::{NodeSnapshot, Violation};
-pub use plan::{FaultEvent, FaultKind, FaultPlan, ProtocolChoice};
+pub use plan::{AdversarySpec, FaultEvent, FaultKind, FaultPlan, ProtocolChoice};
+pub use report::{robustness_report, RobustnessRow};
 pub use shrink::{shrink_plan, ShrinkOutcome};

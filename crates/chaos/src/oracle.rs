@@ -22,13 +22,45 @@
 //!   nothing, live nodes hold exactly the three maintenance timers.
 //! * `cross_group_capacity` — the pub/sub ledger never charges a node
 //!   more aggregate children (across all live groups) than its `c_x`.
+//!
+//! # Degraded catalog (Byzantine runs)
+//!
+//! When the plan carries an [`AdversarySpec`], the run is judged with the
+//! `*_degraded` variants below. Each states what must *still* hold with
+//! `f = 1` planned Byzantine node, and every variant reduces exactly to
+//! its base oracle when `adversary` is `None` — the catalog is a strict
+//! weakening, never a different predicate:
+//!
+//! * `duplicate_suppression` — **unconditional**. Suppression is local
+//!   state; no remote liar can make a correct node deliver twice.
+//! * `forward_cycle` — **unconditional**. Honest nodes forward each
+//!   payload at most once per child regardless of what they were fed, and
+//!   adversarial re-sends are traced as `adversary_act`, not forwards.
+//! * `delivery` — every **honest** live joined node holds every required
+//!   payload (anti-entropy repairs subtrees the adversary starved); the
+//!   adversary itself may discard anything.
+//! * `join_completion`, `ring_convergence`, `neighbor_ideal` — hold for
+//!   every honest node. The adversary stays *on* the ideal ring (honest
+//!   pointers at it are correct), but its own claimed pointers and
+//!   neighbor entries are unchecked — it may report anything.
+//! * `cleanup` — dead nodes leak nothing and honest timer discipline is
+//!   **unconditional**; the adversary's unacked frames are unchecked (it
+//!   wires frames to targets of its choosing), and under
+//!   `StaleIncarnation` honest unacked counts are excused too, because a
+//!   frozen snapshot that keeps advertising corpses keeps honest
+//!   re-probes legitimately in flight.
+//! * `cross_group_capacity` — **unconditional** for the ledger audit:
+//!   charges are computed from pinned (vetted) capacities, so a forged
+//!   `c_x` cannot overcommit honest nodes.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use cam_overlay::Member;
+use cam_overlay::{ByzantineBehavior, DetectionCounters, Member};
 use cam_pubsub::CapacityLedger;
 use cam_ring::Id;
 use cam_trace::{EventKind, TraceEvent};
+
+use crate::plan::AdversarySpec;
 
 /// Frozen per-node state, extracted identically from either host.
 #[derive(Debug, Clone)]
@@ -56,6 +88,12 @@ pub struct NodeSnapshot {
     /// Armed timers (0 on the pure-sim host, which models timers as
     /// self-rearming events outside the actor).
     pub armed_timers: usize,
+    /// Detection counters this node accumulated (suspected misbehavior
+    /// it flagged in *others*).
+    pub detections: DetectionCounters,
+    /// Misbehaviors this node itself performed — nonzero only on a
+    /// planned adversary that actually activated.
+    pub adversary_acts: u64,
 }
 
 /// One oracle violation, with a deterministic human-readable detail.
@@ -319,6 +357,113 @@ pub fn check_cross_group_capacity(ledger: &CapacityLedger) -> Vec<Violation> {
     }
 }
 
+// ------------------------------------------- degraded catalog (f = 1)
+
+/// True when `s` is the planned adversary.
+fn is_adversary(s: &NodeSnapshot, adversary: Option<&AdversarySpec>) -> bool {
+    adversary.is_some_and(|a| s.index == a.node as usize)
+}
+
+/// Degraded `delivery`: every **honest** live joined node holds every
+/// required payload; the adversary's own delivery log is its business.
+pub fn check_delivery_degraded(
+    snaps: &[NodeSnapshot],
+    payloads: &[u64],
+    adversary: Option<&AdversarySpec>,
+) -> Vec<Violation> {
+    let honest: Vec<NodeSnapshot> = snaps
+        .iter()
+        .filter(|s| !is_adversary(s, adversary))
+        .cloned()
+        .collect();
+    check_delivery(&honest, payloads)
+}
+
+/// Degraded `join_completion`: judged for honest nodes only.
+pub fn check_join_completion_degraded(
+    snaps: &[NodeSnapshot],
+    adversary: Option<&AdversarySpec>,
+) -> Vec<Violation> {
+    let adv = adversary.map(|a| u64::from(a.node));
+    check_join_completion(snaps)
+        .into_iter()
+        .filter(|v| v.node != adv)
+        .collect()
+}
+
+/// Degraded `ring_convergence`: the ideal ring still *includes* the
+/// adversary (it is live and joined, and honest pointers at it are
+/// correct), but the adversary's own claimed pointers are unchecked.
+pub fn check_ring_convergence_degraded(
+    snaps: &[NodeSnapshot],
+    adversary: Option<&AdversarySpec>,
+) -> Vec<Violation> {
+    let adv = adversary.map(|a| u64::from(a.node));
+    check_ring_convergence(snaps)
+        .into_iter()
+        .filter(|v| v.node != adv)
+        .collect()
+}
+
+/// Degraded `neighbor_ideal`: ownership is computed over the full live
+/// ring (adversary included), but the adversary's own finger table is
+/// unchecked.
+pub fn check_neighbor_ideal_degraded(
+    snaps: &[NodeSnapshot],
+    targets_of: &dyn Fn(&Member) -> Vec<Id>,
+    adversary: Option<&AdversarySpec>,
+) -> Vec<Violation> {
+    let adv = adversary.map(|a| u64::from(a.node));
+    check_neighbor_ideal(snaps, targets_of)
+        .into_iter()
+        .filter(|v| v.node != adv)
+        .collect()
+}
+
+/// Degraded `cleanup`: dead-node leak checks and honest timer discipline
+/// stay unconditional. The adversary's unacked frames are unchecked, and
+/// under [`ByzantineBehavior::StaleIncarnation`] honest unacked counts
+/// are excused — a frozen snapshot that keeps advertising corpses keeps
+/// honest re-probes legitimately in flight at any quiescent point.
+pub fn check_cleanup_degraded(
+    snaps: &[NodeSnapshot],
+    wire_host: bool,
+    adversary: Option<&AdversarySpec>,
+) -> Vec<Violation> {
+    let stale = adversary.is_some_and(|a| a.behavior == ByzantineBehavior::StaleIncarnation);
+    check_cleanup(snaps, wire_host)
+        .into_iter()
+        .filter(|v| {
+            let about_adversary = adversary.is_some_and(|a| v.node == Some(u64::from(a.node)));
+            let unacked = v.detail.contains("unacked frames after quiescence");
+            // Dead-leak and timer violations always survive; unacked
+            // violations are dropped for the adversary, and for honest
+            // nodes only under a stale-incarnation adversary.
+            !(unacked && (about_adversary || stale))
+        })
+        .collect()
+}
+
+/// Sums detection counters across nodes, excluding the adversary's own
+/// (a Byzantine node's self-reported suspicions are not evidence).
+pub fn sum_detections(
+    snaps: &[NodeSnapshot],
+    adversary: Option<&AdversarySpec>,
+) -> DetectionCounters {
+    let mut total = DetectionCounters::default();
+    for s in snaps {
+        if !is_adversary(s, adversary) {
+            total.add(&s.detections);
+        }
+    }
+    total
+}
+
+/// Total misbehaviors the planned adversary actually performed.
+pub fn sum_adversary_acts(snaps: &[NodeSnapshot]) -> u64 {
+    snaps.iter().map(|s| s.adversary_acts).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +482,16 @@ mod tests {
             seen: 0,
             unacked: 0,
             armed_timers: 3,
+            detections: DetectionCounters::default(),
+            adversary_acts: 0,
+        }
+    }
+
+    fn spec(node: u32, behavior: ByzantineBehavior) -> AdversarySpec {
+        AdversarySpec {
+            node,
+            behavior,
+            seed: 1,
         }
     }
 
@@ -438,5 +593,114 @@ mod tests {
         let v = check_forward_cycles(&[mk(0, 1, 2), mk(1, 1, 2), mk(2, 1, 3)]);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].oracle, "forward_cycle");
+    }
+
+    #[test]
+    fn degraded_catalog_reduces_to_base_without_adversary() {
+        let mut a = snap(0, 10);
+        a.successor = Some(Id(99)); // wrong on purpose
+        a.predecessor = Some(Id(20));
+        let mut b = snap(1, 20);
+        b.successor = Some(Id(10));
+        b.predecessor = Some(Id(10));
+        b.received = vec![(7, 0)];
+        b.seen = 1;
+        b.unacked = 4;
+        let snaps = [a, b];
+        assert_eq!(
+            check_delivery_degraded(&snaps, &[7], None),
+            check_delivery(&snaps, &[7])
+        );
+        assert_eq!(
+            check_join_completion_degraded(&snaps, None),
+            check_join_completion(&snaps)
+        );
+        assert_eq!(
+            check_ring_convergence_degraded(&snaps, None),
+            check_ring_convergence(&snaps)
+        );
+        assert_eq!(
+            check_neighbor_ideal_degraded(&snaps, &|_m| vec![Id(15)], None),
+            check_neighbor_ideal(&snaps, &|_m| vec![Id(15)])
+        );
+        assert_eq!(
+            check_cleanup_degraded(&snaps, true, None),
+            check_cleanup(&snaps, true)
+        );
+    }
+
+    #[test]
+    fn degraded_delivery_excuses_only_the_adversary() {
+        let mut a = snap(0, 10);
+        a.received = vec![(7, 0)];
+        a.seen = 1;
+        let b = snap(1, 20); // starved
+        let snaps = [a, b];
+        // Base flags the miss; degraded with node 1 as adversary does not.
+        assert_eq!(check_delivery(&snaps, &[7]).len(), 1);
+        let s = spec(1, ByzantineBehavior::SelectiveDrop);
+        assert!(check_delivery_degraded(&snaps, &[7], Some(&s)).is_empty());
+        // An honest miss still counts with the adversary elsewhere.
+        let s = spec(0, ByzantineBehavior::SelectiveDrop);
+        assert_eq!(check_delivery_degraded(&snaps, &[7], Some(&s)).len(), 1);
+    }
+
+    #[test]
+    fn degraded_ring_keeps_adversary_on_the_ideal_ring() {
+        let mut a = snap(0, 10);
+        let mut b = snap(1, 20);
+        let mut c = snap(2, 30);
+        a.successor = Some(Id(20));
+        a.predecessor = Some(Id(30));
+        b.successor = Some(Id(99)); // adversary lies about its own succ
+        b.predecessor = Some(Id(10));
+        c.successor = Some(Id(10));
+        c.predecessor = Some(Id(20));
+        let snaps = [a, b, c];
+        let s = spec(1, ByzantineBehavior::StaleIncarnation);
+        // Honest pointers AT node 20 are demanded; node 20's own are not.
+        assert!(check_ring_convergence_degraded(&snaps, Some(&s)).is_empty());
+        assert_eq!(check_ring_convergence(&snaps).len(), 1);
+    }
+
+    #[test]
+    fn degraded_cleanup_excuses_unacked_but_not_timers_or_leaks() {
+        let mut adv = snap(0, 10);
+        adv.unacked = 2;
+        let mut honest = snap(1, 20);
+        honest.unacked = 1;
+        let mut bad_timers = snap(2, 30);
+        bad_timers.armed_timers = 7;
+        let mut dead = snap(3, 40);
+        dead.alive = false;
+        dead.armed_timers = 1;
+        let snaps = [adv, honest, bad_timers, dead];
+        // Stale adversary: both unacked counts excused; timer-discipline
+        // and dead-leak violations survive.
+        let s = spec(0, ByzantineBehavior::StaleIncarnation);
+        let v = check_cleanup_degraded(&snaps, true, Some(&s));
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| !x.detail.contains("unacked frames after")));
+        // Non-stale adversary: only the adversary's unacked is excused.
+        let s = spec(0, ByzantineBehavior::Replay);
+        let v = check_cleanup_degraded(&snaps, true, Some(&s));
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.node != Some(0)));
+    }
+
+    #[test]
+    fn detection_sums_skip_the_adversary_itself() {
+        let mut a = snap(0, 10);
+        a.detections.region_violations = 3;
+        let mut b = snap(1, 20);
+        b.detections.replay_suspects = 2;
+        b.adversary_acts = 9;
+        let snaps = [a, b];
+        let s = spec(1, ByzantineBehavior::Replay);
+        let d = sum_detections(&snaps, Some(&s));
+        assert_eq!(d.region_violations, 3);
+        assert_eq!(d.replay_suspects, 0);
+        assert_eq!(sum_detections(&snaps, None).total(), 5);
+        assert_eq!(sum_adversary_acts(&snaps), 9);
     }
 }

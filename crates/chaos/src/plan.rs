@@ -15,7 +15,7 @@
 
 use std::collections::BTreeSet;
 
-use cam_overlay::Member;
+use cam_overlay::{ByzantineBehavior, Member};
 use cam_ring::IdSpace;
 use cam_sim::rng::SimRng;
 use cam_workload::{BandwidthDist, CapacityAssignment, ChurnKind, ChurnTrace, Scenario};
@@ -151,8 +151,29 @@ pub struct FaultPlan {
     pub settle_secs: u64,
     /// Time allowed for the final multicast to complete (seconds).
     pub final_wait_secs: u64,
+    /// A planned Byzantine node, or `None` for the crash-only fault
+    /// model. When set, the harness attaches the behavior before the run
+    /// starts and judges the run with the degraded-oracle catalog.
+    pub adversary: Option<AdversarySpec>,
     /// The schedule, non-decreasing in `at_micros`.
     pub events: Vec<FaultEvent>,
+}
+
+/// A planned Byzantine adversary: which node misbehaves, how, and the
+/// seed of its private decision stream. `Copy`, so plans stay cheap to
+/// shrink (`FaultPlan::with_events` copies it along unchanged — the
+/// shrinker edits schedules, never the threat model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversarySpec {
+    /// Index of the Byzantine node in the initial member table (ring
+    /// order). Never 0 — the anchor must stay honest so multicasts
+    /// originate from a trustworthy source.
+    pub node: u32,
+    /// The scripted misbehavior.
+    pub behavior: ByzantineBehavior,
+    /// Seed for the adversary's private RNG stream (decisions must come
+    /// from the plan, not from ambient host randomness).
+    pub seed: u64,
 }
 
 /// Knobs for the plan generator; the presets are fixed instances of this.
@@ -270,6 +291,66 @@ impl FaultPlan {
         generate(seed, &COLOSSAL)
     }
 
+    /// Adversary preset: a small, otherwise-quiet plan with exactly one
+    /// planned Byzantine node. 16 nodes, always CAM-Chord with region
+    /// splitting (the region invariant is what most behaviors attack),
+    /// lossless wire so every detection is attributable to the adversary,
+    /// and three anchor multicasts so the adversary sees enough traffic
+    /// to act on. For [`ByzantineBehavior::StaleIncarnation`] the plan
+    /// also crashes the adversary's two ring neighbors between the first
+    /// and second multicast, so the frozen stabilize snapshot keeps
+    /// advertising genuinely dead members.
+    pub fn adversary_plan(seed: u64, behavior: ByzantineBehavior) -> FaultPlan {
+        // Node 1..=13 of 16: never the anchor (0), and the two slots
+        // above the adversary stay in range for the stale-incarnation
+        // neighbor crashes below.
+        let node = 1 + (seed % 13) as u32;
+        let mut events = vec![
+            FaultEvent {
+                at_micros: 2_000_000,
+                kind: FaultKind::Multicast,
+            },
+            FaultEvent {
+                at_micros: 6_000_000,
+                kind: FaultKind::Multicast,
+            },
+            FaultEvent {
+                at_micros: 10_000_000,
+                kind: FaultKind::Multicast,
+            },
+        ];
+        if behavior == ByzantineBehavior::StaleIncarnation {
+            events.push(FaultEvent {
+                at_micros: 3_600_000,
+                kind: FaultKind::Crash { node: node + 1 },
+            });
+            events.push(FaultEvent {
+                at_micros: 4_100_000,
+                kind: FaultKind::Crash { node: node + 2 },
+            });
+            events.sort_by_key(|e| e.at_micros);
+        }
+        FaultPlan {
+            seed,
+            preset: "adversary".to_string(),
+            nodes: 16,
+            protocol: ProtocolChoice::Chord,
+            region_split: true,
+            anti_entropy: true,
+            loss_base_per_mille: 0,
+            settle_secs: 45,
+            final_wait_secs: 15,
+            adversary: Some(AdversarySpec {
+                node,
+                behavior,
+                // Private decision stream, derived from the plan seed via
+                // an independent split so it never aliases host RNGs.
+                seed: SimRng::new(seed).split(0xADE5).seed(),
+            }),
+            events,
+        }
+    }
+
     /// Look up a preset constructor by name
     /// (`small`/`default`/`torture`/`colossal`).
     pub fn by_preset(name: &str, seed: u64) -> Option<FaultPlan> {
@@ -362,6 +443,7 @@ fn generate(seed: u64, cfg: &PresetCfg) -> FaultPlan {
         loss_base_per_mille: cfg.loss_base_per_mille,
         settle_secs: cfg.settle_secs,
         final_wait_secs: cfg.final_wait_secs,
+        adversary: None,
         events: Vec::new(),
     };
 

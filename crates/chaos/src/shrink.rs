@@ -120,6 +120,7 @@ mod tests {
             events_applied: plan.events.len(),
             trace_json: None,
             snapshots: Vec::new(),
+            adversary_events: Vec::new(),
         }
     }
 

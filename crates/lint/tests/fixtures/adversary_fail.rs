@@ -1,0 +1,36 @@
+//! Adversary fixture (failing): a Byzantine decision engine that draws
+//! from ambient state instead of the plan RNG. Each leak below makes the
+//! adversary's misbehavior unreproducible — shrinking a failing seed or
+//! replaying its bundle would meet a *different* attack. Expected: three
+//! findings.
+
+use std::collections::HashMap;
+
+pub struct Adversary {
+    remembered: HashMap<u64, u32>,
+}
+
+impl Adversary {
+    /// Drop decision from ambient entropy: the replayed run drops
+    /// different forwards than the recorded one.
+    pub fn drops_forward(&self) -> bool {
+        let mut rng = rand::thread_rng();
+        rng.next_u64() % 2 == 0
+    }
+
+    /// Replay victim by hash order: "first remembered frame" depends on
+    /// the hasher, not the plan seed.
+    pub fn pick_replay(&self) -> Option<u64> {
+        for (payload, _) in &self.remembered {
+            return Some(*payload);
+        }
+        None
+    }
+
+    /// Wall-clock-conditioned forgery: the forged capacity shifts with
+    /// host load, so no two sweeps agree.
+    pub fn forged_capacity(&self, honest: u32) -> u32 {
+        let jitter = std::time::Instant::now().elapsed().as_nanos() as u32;
+        honest + 1 + jitter % 8
+    }
+}

@@ -1,0 +1,58 @@
+//! Adversary fixture (passing): a Byzantine decision engine whose every
+//! choice — drop or forward, replay target, forged capacity — comes from
+//! the plan-seeded RNG over deterministically ordered tables. This is the
+//! shape `crates/overlay/src/adversary.rs` must keep: replaying a fault
+//! plan must reproduce the same misbehavior bit for bit.
+
+use std::collections::BTreeMap;
+
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn from_seed(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+pub struct Adversary {
+    rng: Rng,
+    remembered: BTreeMap<u64, u32>,
+}
+
+impl Adversary {
+    pub fn new(plan_seed: u64) -> Self {
+        Adversary {
+            rng: Rng::from_seed(plan_seed),
+            remembered: BTreeMap::new(),
+        }
+    }
+
+    /// Drop decision: a coin flip from the plan stream, never ambient.
+    pub fn drops_forward(&mut self, child: u64) -> bool {
+        self.rng.next().wrapping_add(child) % 2 == 0
+    }
+
+    /// Replay victim: seeded index into a sorted frame table.
+    pub fn pick_replay(&mut self) -> Option<u64> {
+        let payloads: Vec<u64> = self.remembered.keys().copied().collect();
+        if payloads.is_empty() {
+            return None;
+        }
+        let i = (self.rng.next() as usize) % payloads.len();
+        payloads.get(i).copied()
+    }
+
+    /// Forged capacity: plan-stream noise on top of the honest value.
+    pub fn forged_capacity(&mut self, honest: u32) -> u32 {
+        honest + 1 + (self.rng.next() % 8) as u32
+    }
+
+    pub fn remember(&mut self, payload: u64, hops: u32) {
+        self.remembered.insert(payload, hops);
+    }
+}

@@ -102,6 +102,36 @@ fn chaos_generator_fail_fixture_flags_every_entropy_leak() {
     assert!(f.iter().any(|x| x.message.contains("`for` loop")));
 }
 
+/// The Byzantine adversary engine is in determinism scope: every
+/// misbehavior decision (drop, replay victim, forged capacity) drawn from
+/// the plan-seeded RNG over ordered tables is clean.
+#[test]
+fn adversary_pass_fixture_is_clean() {
+    let f = run(
+        "adversary_pass.rs",
+        include_str!("fixtures/adversary_pass.rs"),
+        &[Rule::Determinism],
+    );
+    assert!(f.is_empty(), "unexpected findings:\n{}", render(&f));
+}
+
+/// Ambient RNG, hash-order replay-victim choice, and wall-clock-seeded
+/// forgery must each be a finding — an adversary that misbehaves from
+/// ambient state cannot be shrunk or replayed bit-identically.
+#[test]
+fn adversary_fail_fixture_flags_every_ambient_decision() {
+    let f = run(
+        "adversary_fail.rs",
+        include_str!("fixtures/adversary_fail.rs"),
+        &[Rule::Determinism],
+    );
+    assert_eq!(f.len(), 3, "findings:\n{}", render(&f));
+    assert!(f.iter().all(|x| x.rule == Rule::Determinism));
+    assert!(f.iter().any(|x| x.message.contains("`thread_rng`")));
+    assert!(f.iter().any(|x| x.message.contains("`for` loop")));
+    assert!(f.iter().any(|x| x.message.contains("`Instant`")));
+}
+
 // ------------------------------------------------------------ panic safety
 
 #[test]

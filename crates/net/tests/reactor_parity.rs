@@ -14,11 +14,11 @@ use cam_net::legacy::LegacyCluster;
 use cam_net::mux::MuxUdpTransport;
 use cam_net::runtime::{Cluster, RetransmitPolicy};
 use cam_net::transport::{InMemoryTransport, WireCounters};
-use cam_overlay::Member;
+use cam_overlay::{ByzantineBehavior, DetectionCounters, Member};
 use cam_ring::{Id, IdSpace};
 use cam_sim::rng::SimRng;
 use cam_sim::{Duration, LatencyModel, SimTime};
-use cam_trace::RecordingTracer;
+use cam_trace::{EventKind, RecordingTracer};
 
 const SPACE: IdSpace = IdSpace::PAPER;
 const NODES: usize = 12;
@@ -197,6 +197,157 @@ fn reactor_is_self_deterministic() {
     let a = reactor_census(4242, false);
     let b = reactor_census(4242, false);
     assert_eq!(a, b, "same seed, same reactor, different run");
+}
+
+/// Everything observable about a replay-attack run; parity on this struct
+/// means both loops saw the same attack and mounted the same defense.
+#[derive(Debug, PartialEq)]
+struct ReplayCensus {
+    now: SimTime,
+    counters: WireCounters,
+    acts: u64,
+    detections: DetectionCounters,
+    suppressed_replays: usize,
+    trace: String,
+}
+
+/// The replay-attack scenario, shared between the reactor and the legacy
+/// loop (macro for the same reason as [`run_scenario!`]): attach a
+/// [`ByzantineBehavior::Replay`] adversary, deliver one region-split
+/// multicast everywhere, then give the adversary ~20 stabilize rounds to
+/// re-send remembered frames over the lossy acked wire. Asserts inline
+/// that after full delivery no honest node forwards (or first-receives)
+/// the payload again — every replayed copy dies in duplicate suppression.
+macro_rules! run_replay_attack {
+    ($cluster:expr, $seed:expr) => {{
+        const ADVERSARY: usize = 3;
+        let mut cluster = $cluster;
+        cluster.set_tracer(Box::new(RecordingTracer::with_capacity(1 << 14)));
+        cluster
+            .node_mut(ADVERSARY)
+            .actor_mut()
+            .attach_adversary(ByzantineBehavior::Replay, $seed);
+        cluster.run_for(Duration::from_secs(1));
+        let payload = cluster.start_multicast(0, true, Bytes::from(vec![0xC3u8; 256]));
+        let done = cluster.run_until(Duration::from_secs(45), |c| {
+            c.delivery_ratio(payload) >= 1.0
+        });
+        assert!(done, "multicast must deliver before the replay phase");
+        let delivered_at = cluster.now().micros();
+        // ~20 stabilize periods (500 ms default): each round the adversary
+        // may re-send a remembered frame to a random neighbor; loss on the
+        // wire is recovered by the ack/retransmit layer, so replayed
+        // frames do arrive.
+        cluster.run_for(Duration::from_secs(10));
+
+        let acts = cluster
+            .node(ADVERSARY)
+            .actor()
+            .adversary()
+            .map_or(0, |s| s.acts);
+        let mut detections = DetectionCounters::default();
+        for i in 0..cluster.len() {
+            if i != ADVERSARY {
+                detections.add(&cluster.node(i).actor().detections());
+            }
+        }
+        let boxed = cluster.take_tracer();
+        let rec = boxed.as_recording().expect("recording tracer installed");
+        let mut suppressed_replays = 0usize;
+        for e in rec.events() {
+            if e.actor == ADVERSARY as u64 || e.at_micros <= delivered_at {
+                continue;
+            }
+            match e.kind {
+                // A forward or first receipt of the payload after everyone
+                // already has it would mean a replayed frame re-entered
+                // the dissemination tree instead of being suppressed.
+                EventKind::MulticastForward { payload: p, .. }
+                | EventKind::MulticastReceive { payload: p, .. }
+                    if p == payload =>
+                {
+                    panic!(
+                        "honest node {} re-propagated replayed payload at t={}us: {:?}",
+                        e.actor, e.at_micros, e.kind
+                    );
+                }
+                EventKind::DuplicateSuppress { payload: p, .. } if p == payload => {
+                    suppressed_replays += 1;
+                }
+                _ => {}
+            }
+        }
+        ReplayCensus {
+            now: cluster.now(),
+            counters: cluster.counters(),
+            acts,
+            detections,
+            suppressed_replays,
+            trace: rec.chrome_trace_json(),
+        }
+    }};
+}
+
+/// Replay-attack × ack/retransmit: a Byzantine node re-sending remembered
+/// multicast frames hits duplicate suppression (never a re-forward) and
+/// is flagged as a replay suspect by honest receivers — identically on
+/// the reactor and the frozen legacy loop.
+#[test]
+fn replayed_frames_hit_suppression_on_both_loops() {
+    let seed = 1337u64;
+    let m = members(NODES, seed);
+    let new = run_replay_attack!(
+        Cluster::converged(
+            SPACE,
+            &m,
+            CamChordProtocol,
+            seed,
+            wan_transport(seed),
+            RetransmitPolicy::default(),
+        ),
+        seed
+    );
+    let old = run_replay_attack!(
+        LegacyCluster::converged(
+            SPACE,
+            &m,
+            CamChordProtocol,
+            seed,
+            wan_transport(seed),
+            RetransmitPolicy::default(),
+        ),
+        seed
+    );
+
+    assert!(new.acts > 0, "adversary never replayed anything: {new:?}");
+    assert!(
+        new.suppressed_replays > 0,
+        "no replayed frame was suppressed — did none arrive? {new:?}"
+    );
+    assert!(
+        new.detections.replay_suspects > 0,
+        "honest nodes never flagged the replays: {:?}",
+        new.detections
+    );
+    // Replay is the only misbehavior, so no *frame-level* accusation
+    // besides replay_suspects may fire. stale_claims is exempt here: at
+    // 12% sustained loss a run of dropped probes can transiently confirm
+    // a live node dead, after which honest stabilize replies advertising
+    // it are flagged — the documented false-positive mode of loss-only
+    // detection (the chaos harness's honest baseline is lossless).
+    assert_eq!(
+        (
+            new.detections.region_violations,
+            new.detections.capacity_forgeries
+        ),
+        (0, 0),
+        "unrelated frame-level accusations on an honest-except-replay run: {:?}",
+        new.detections
+    );
+    assert_eq!(
+        new, old,
+        "reactor and legacy loop diverged under replay attack"
+    );
 }
 
 /// 32 nodes multiplexed on one real UDP socket: a multicast round

@@ -26,6 +26,7 @@ use cam_sim::time::Duration;
 use cam_sim::{LatencyModel, Simulation};
 use cam_trace::{DeliveryCensus, EventKind, GroupDeliveryCensus, Tracer};
 
+use crate::adversary::{AdversaryState, ByzantineBehavior, DetectionCounters};
 use crate::Member;
 
 /// Number of successors each node tracks for ring resilience. Chord
@@ -452,6 +453,48 @@ pub struct DhtActor<P: DhtProtocol> {
     /// Statistics: group publishes delivered to this subscriber
     /// `(group, payload, hops)`.
     pub group_received_log: Vec<(u64, u64, u32)>,
+    /// Byzantine adversary state attached by the chaos harness; `None`
+    /// on honest nodes. Boxed so honest actors stay small.
+    adversary: Option<Box<AdversaryState>>,
+    /// Honest-defense detection counters (region violations, capacity
+    /// forgeries, replay suspects, stale claims, repair recoveries).
+    detections: DetectionCounters,
+    /// First-observed capacity per member id. Capacity is immutable in
+    /// this protocol, so any later claim that disagrees is a forgery;
+    /// the pinned value wins so forged `c_x` cannot steer region splits.
+    capacity_pins: HashMap<u64, u32>,
+    /// Members this node has itself confirmed dead — evicted *and* then
+    /// unresponsive through a full morgue investigation — mapped to the
+    /// stabilize rounds the verdict has left to live. A stabilize reply
+    /// re-advertising one is a stale incarnation claim; cleared when the
+    /// member provably speaks again (Pong, Notify, or a fresh
+    /// JoinRequest) — or when the verdict expires. Expiry bounds the
+    /// damage of the rare *false* verdict: a genuinely dead member keeps
+    /// failing probes and is re-confirmed, so the stale-claim detector
+    /// keeps firing, while a falsely-accused live node becomes adoptable
+    /// again instead of being blacklisted out of the ring forever.
+    confirmed_dead: std::collections::BTreeMap<u64, u8>,
+    /// First sender observed per region-carrying payload: a duplicate
+    /// arriving later from a *different* sender is replay evidence
+    /// (retransmits and wire duplicates re-arrive from the original).
+    first_sender: HashMap<u64, ActorId>,
+    /// Outstanding deep successor-list probe `(req_id, probed id)`.
+    pending_succ_ping: Option<(u64, Id)>,
+    /// Consecutive unanswered deep successor-list probes per member id.
+    succ_strikes: HashMap<u64, u8>,
+    /// Round-robin cursor over non-head successor-list entries.
+    succ_probe_cursor: usize,
+    /// Evicted members under post-mortem investigation, mapped to the
+    /// consecutive unanswered investigation probes so far. Eviction alone
+    /// is cheap, self-healing ring repair and must stay trigger-happy;
+    /// the confirmed-dead *verdict* (which rejects re-advertisements) is
+    /// issued only after [`DEAD_VERDICT_STRIKES`] consecutive unanswered
+    /// probes here — strong enough evidence that a lossy-but-live member
+    /// is very unlikely to be condemned.
+    morgue: std::collections::BTreeMap<u64, u8>,
+    /// Morgue entries whose investigation probe from the previous
+    /// stabilize round is still unanswered.
+    morgue_awaiting: std::collections::BTreeSet<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -464,6 +507,25 @@ enum PendingLookup {
 const TIMER_STABILIZE: u64 = 1;
 const TIMER_FIX_FINGERS: u64 = 2;
 const TIMER_ANTI_ENTROPY: u64 = 3;
+
+/// Stabilize rounds a confirmed-dead verdict stays in force before it
+/// lapses. Deliberately a round count, not wall time (determinism), and
+/// long enough that a genuinely dead node is re-probed and re-confirmed
+/// well before expiry, short enough that a live node falsely condemned by
+/// a run of dropped probes becomes adoptable again within a few seconds.
+const DEAD_VERDICT_ROUNDS: u8 = 8;
+
+/// Consecutive unanswered investigation probes (one per stabilize round)
+/// required to turn an eviction into a confirmed-dead verdict. Eviction
+/// itself stays at the cheap two-strike threshold — it is self-healing —
+/// but the verdict gates the stale-claim defense, so it demands evidence
+/// a lossy wire almost never fabricates: at 12% frame loss a live member
+/// fails four consecutive round-trips with probability ~0.3%.
+const DEAD_VERDICT_STRIKES: u8 = 4;
+
+/// Upper bound on simultaneous morgue investigations (deterministic cap;
+/// overflow evictions simply go uninvestigated until a slot frees up).
+const MORGUE_CAP: usize = 16;
 
 impl<P: DhtProtocol> DhtActor<P> {
     /// Creates a node that already knows its place on the ring (used to
@@ -498,7 +560,35 @@ impl<P: DhtProtocol> DhtActor<P> {
             group_of: HashMap::new(),
             received_log: Vec::new(),
             group_received_log: Vec::new(),
+            adversary: None,
+            detections: DetectionCounters::default(),
+            capacity_pins: HashMap::from([(me.id.value(), me.capacity)]),
+            confirmed_dead: std::collections::BTreeMap::new(),
+            first_sender: HashMap::new(),
+            pending_succ_ping: None,
+            succ_strikes: HashMap::new(),
+            succ_probe_cursor: 0,
+            morgue: std::collections::BTreeMap::new(),
+            morgue_awaiting: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Attaches a Byzantine adversary (chaos harness only): from now on
+    /// this node performs `behavior`, with every decision drawn from a
+    /// private RNG stream seeded by `seed` — never from the host's
+    /// ambient randomness — so replays are bit-identical.
+    pub fn attach_adversary(&mut self, behavior: ByzantineBehavior, seed: u64) {
+        self.adversary = Some(Box::new(AdversaryState::new(behavior, seed)));
+    }
+
+    /// This node's honest-defense detection counters.
+    pub fn detections(&self) -> DetectionCounters {
+        self.detections
+    }
+
+    /// The attached adversary state, if any (diagnostics / harness).
+    pub fn adversary(&self) -> Option<&AdversaryState> {
+        self.adversary.as_deref()
     }
 
     /// The member descriptor of this node.
@@ -546,9 +636,17 @@ impl<P: DhtProtocol> DhtActor<P> {
         predecessor: Member,
         finger_seeds: Vec<(Id, Member)>,
     ) {
+        // Bootstrap knowledge is ground truth: pin every neighbor's
+        // capacity so later forged `c_x` claims are detectable.
+        for m in &successors {
+            self.capacity_pins.insert(m.id.value(), m.capacity);
+        }
+        self.capacity_pins
+            .insert(predecessor.id.value(), predecessor.capacity);
         self.successors = successors;
         self.predecessor = Some(predecessor);
         for (t, m) in finger_seeds {
+            self.capacity_pins.insert(m.id.value(), m.capacity);
             self.fingers.insert(t.value(), m);
         }
         self.joined = true;
@@ -679,6 +777,162 @@ impl<P: DhtProtocol> DhtActor<P> {
         id
     }
 
+    /// Vets a member claim against the pinned capacity for its
+    /// identifier. The first observation pins; a later claim that
+    /// disagrees bumps `capacity_forgeries` and is *corrected* to the
+    /// pinned value, so a forged `c_x` cannot steer this node's region
+    /// partitioning. Capacity is immutable per member in this protocol
+    /// (it survives crash/restart unchanged), so honest claims never
+    /// conflict.
+    fn vet<D: DhtDriver>(&mut self, ctx: &mut D, mut m: Member) -> Member {
+        match self.capacity_pins.entry(m.id.value()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m.capacity);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != m.capacity {
+                    self.detections.capacity_forgeries += 1;
+                    ctx.trace(EventKind::AdversaryDetect {
+                        detector: "capacity_forgery",
+                        suspect: m.id.value(),
+                        payload: 0,
+                    });
+                    m.capacity = *e.get();
+                }
+            }
+        }
+        m
+    }
+
+    /// The member descriptor this node advertises about itself. Honest
+    /// nodes advertise the truth; a [`ByzantineBehavior::ForgeCapacity`]
+    /// adversary inflates its capacity so peers' region partitions
+    /// over-split around it.
+    fn advertised_self<D: DhtDriver>(&mut self, ctx: &mut D) -> Member {
+        if let Some(adv) = self.adversary.as_deref_mut() {
+            if adv.behavior == ByzantineBehavior::ForgeCapacity {
+                let mut m = self.me;
+                m.capacity = m.capacity.saturating_mul(4).max(m.capacity + 4);
+                adv.acts += 1;
+                ctx.trace(EventKind::AdversaryAct {
+                    behavior: "forge_capacity",
+                    payload: 0,
+                });
+                return m;
+            }
+        }
+        self.me
+    }
+
+    /// Builds this node's [`DhtMsg::StabilizeReply`] — the adversary
+    /// hook point. A stale-incarnation adversary answers with a snapshot
+    /// frozen at its first query; a replay adversary piggybacks one
+    /// remembered multicast frame to an RNG-chosen peer (piggybacked on
+    /// the stabilize cadence so no extra timers are armed — the cleanup
+    /// oracle audits the timer census); a capacity forger inflates the
+    /// advertised head entry.
+    fn answer_stabilize<D: DhtDriver>(&mut self, ctx: &mut D) -> DhtMsg {
+        let my_advert = self.advertised_self(ctx);
+        let mut successors = Vec::with_capacity(SUCCESSOR_LIST_LEN);
+        successors.push(my_advert);
+        successors.extend(self.successors.iter().copied().take(SUCCESSOR_LIST_LEN - 1));
+        let mut reply = (self.predecessor, successors);
+        // Replay targets must be computed before borrowing the adversary
+        // (`neighbor_members` re-borrows `self`).
+        let replay_targets: Vec<Id> = if self
+            .adversary
+            .as_deref()
+            .is_some_and(|a| a.behavior == ByzantineBehavior::Replay)
+        {
+            let mut t: Vec<Id> = self.successors.iter().map(|m| m.id).collect();
+            for m in self.neighbor_members() {
+                if !t.contains(&m.id) {
+                    t.push(m.id);
+                }
+            }
+            t
+        } else {
+            Vec::new()
+        };
+        let mut replayed: Option<(Id, u64, Option<Segment>, u32, bytes::Bytes)> = None;
+        if let Some(adv) = self.adversary.as_deref_mut() {
+            match adv.behavior {
+                ByzantineBehavior::StaleIncarnation => {
+                    let frozen = adv.frozen.get_or_insert_with(|| (reply.0, reply.1.clone()));
+                    if *frozen != reply {
+                        adv.acts += 1;
+                        ctx.trace(EventKind::AdversaryAct {
+                            behavior: "stale_incarnation",
+                            payload: 0,
+                        });
+                    }
+                    reply = frozen.clone();
+                }
+                ByzantineBehavior::Replay => {
+                    if !adv.remembered.is_empty() && !replay_targets.is_empty() {
+                        let f =
+                            adv.rng.uniform_incl(0, adv.remembered.len() as u64 - 1) as usize;
+                        let t =
+                            adv.rng.uniform_incl(0, replay_targets.len() as u64 - 1) as usize;
+                        let (payload, region, hops, data) = adv.remembered[f].clone();
+                        replayed = Some((replay_targets[t], payload, region, hops, data));
+                        adv.acts += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((to, payload, region, hops, data)) = replayed {
+            // Deliberately NOT traced as a MulticastForward: the
+            // forward-cycle oracle counts (actor, payload, child) edges,
+            // and the adversary's re-send is an attack, not tree traffic.
+            ctx.trace(EventKind::AdversaryAct {
+                behavior: "replay",
+                payload,
+            });
+            self.send_to_member(
+                ctx,
+                to,
+                DhtMsg::Multicast {
+                    payload,
+                    region,
+                    hops,
+                    data,
+                },
+            );
+        }
+        DhtMsg::StabilizeReply {
+            predecessor: reply.0,
+            successors: reply.1,
+        }
+    }
+
+    /// Marks `member` as provably alive: it just sent us something that
+    /// only a live node originates. Closes any investigation and voids
+    /// any standing verdict.
+    fn mark_alive(&mut self, member: Id) {
+        self.confirmed_dead.remove(&member.value());
+        self.succ_strikes.remove(&member.value());
+        self.morgue.remove(&member.value());
+        self.morgue_awaiting.remove(&member.value());
+    }
+
+    /// Opens (or continues) a post-eviction investigation of `member`.
+    /// The stabilize timer pings every morgue entry once per round; only
+    /// [`DEAD_VERDICT_STRIKES`] consecutive unanswered probes produce the
+    /// confirmed-dead verdict, which in turn carries a round budget
+    /// ([`DEAD_VERDICT_ROUNDS`]) and lapses unless re-earned.
+    fn open_investigation(&mut self, member: Id) {
+        let id = member.value();
+        if id == self.me.id.value() || self.confirmed_dead.contains_key(&id) {
+            return;
+        }
+        if self.morgue.len() < MORGUE_CAP || self.morgue.contains_key(&id) {
+            self.morgue.entry(id).or_insert(0);
+        }
+        self.succ_strikes.remove(&id);
+    }
+
     fn handle_lookup<D: DhtDriver>(
         &mut self,
         ctx: &mut D,
@@ -702,20 +956,23 @@ impl<P: DhtProtocol> DhtActor<P> {
         // TTL: a lookup that has bounced this long is circling a damaged
         // overlay; answer best-effort so the requester can move on.
         if hops > 4 * self.space.bits() + 32 {
-            answer(ctx, self.me, true);
+            let me = self.advertised_self(ctx);
+            answer(ctx, me, true);
             return;
         }
         // Owner check: key in (me, successor] → successor owns it;
         // key in (predecessor, me] → I own it.
-        if let Some(pred) = &self.predecessor {
+        if let Some(pred) = self.predecessor {
             if self.space.in_segment(key, pred.id, self.me.id) || key == self.me.id {
-                answer(ctx, self.me, false);
+                let me = self.advertised_self(ctx);
+                answer(ctx, me, false);
                 return;
             }
         }
         let Some(succ) = self.successors.first().copied() else {
             // Isolated node: answer with self to terminate the request.
-            answer(ctx, self.me, true);
+            let me = self.advertised_self(ctx);
+            answer(ctx, me, true);
             return;
         };
         if self.space.in_segment(key, self.me.id, succ.id) {
@@ -753,12 +1010,31 @@ impl<P: DhtProtocol> DhtActor<P> {
     fn handle_multicast<D: DhtDriver>(
         &mut self,
         ctx: &mut D,
+        from: ActorId,
         payload: u64,
         region: Option<Segment>,
         hops: u32,
         data: bytes::Bytes,
     ) {
         if self.seen_payloads.contains_key(&payload) {
+            // Replay evidence: a region-carrying copy arriving again from
+            // a *different* sender than the first. Retransmits and wire
+            // duplicates re-arrive from the original sender, and the
+            // region-split tree hands each payload to a child exactly
+            // once, so a second region-carrying sender replayed the frame.
+            if region.is_some()
+                && self
+                    .first_sender
+                    .get(&payload)
+                    .is_some_and(|&first| first != from)
+            {
+                self.detections.replay_suspects += 1;
+                ctx.trace(EventKind::AdversaryDetect {
+                    detector: "replay_suspect",
+                    suspect: from.0 as u64,
+                    payload,
+                });
+            }
             ctx.trace(EventKind::DuplicateSuppress {
                 payload,
                 hops,
@@ -771,16 +1047,91 @@ impl<P: DhtProtocol> DhtActor<P> {
             hops,
             group: None,
         });
+        if region.is_some() {
+            self.first_sender.insert(payload, from);
+        }
         self.seen_payloads.insert(payload, hops);
         self.received_log.push((payload, hops));
         self.delivered_data.insert(payload, data.clone());
+        // Region honesty: CAM-Chord's split always delegates to child `c`
+        // a segment beginning (exclusively) at `c` itself, and a source's
+        // self-addressed frame carries `all_but(me)`, which also begins
+        // at `me` — so on every honest region-carrying frame,
+        // `region.from == me`. A frame violating that was misrouted:
+        // deliver locally (the bytes are real) but do NOT forward, since
+        // splitting someone else's segment would spray the wrong subtree.
+        // Anti-entropy repairs the starved region.
+        if let Some(r) = region {
+            if r.from != self.me.id {
+                self.detections.region_violations += 1;
+                ctx.trace(EventKind::AdversaryDetect {
+                    detector: "region_violation",
+                    suspect: from.0 as u64,
+                    payload,
+                });
+                return;
+            }
+        }
         let Some(succ) = self.successors.first().copied() else {
             return;
         };
         let neighbors = self.neighbor_members();
-        let children = self
+        let mut children = self
             .protocol
             .multicast_children(self.space, &self.me, &neighbors, &succ, region);
+        // Adversary hooks: all decisions draw from the adversary's own
+        // plan-seeded RNG, never from `ctx.random_index`, so chaos
+        // replays stay bit-identical.
+        if let Some(adv) = self.adversary.as_deref_mut() {
+            match adv.behavior {
+                ByzantineBehavior::Replay => {
+                    adv.remember(payload, region, hops, data.clone());
+                }
+                ByzantineBehavior::Misroute => {
+                    let regions: Vec<Option<Segment>> =
+                        children.iter().map(|&(_, r)| r).collect();
+                    let n = children.len();
+                    if n > 1 && regions.iter().any(Option::is_some) {
+                        // Rotate the delegated sub-segments one child
+                        // over: every child now gets a region starting at
+                        // a *different* child's identifier.
+                        for (i, (_, r)) in children.iter_mut().enumerate() {
+                            *r = regions[(i + 1) % n];
+                        }
+                        adv.acts += 1;
+                        ctx.trace(EventKind::AdversaryAct {
+                            behavior: "misroute",
+                            payload,
+                        });
+                    } else if n == 1 && region.is_some() {
+                        // Single child: hand it the parent's whole region,
+                        // which starts at *me*, not at the child.
+                        children[0].1 = region;
+                        adv.acts += 1;
+                        ctx.trace(EventKind::AdversaryAct {
+                            behavior: "misroute",
+                            payload,
+                        });
+                    }
+                }
+                ByzantineBehavior::SelectiveDrop => {
+                    let mut kept = Vec::with_capacity(children.len());
+                    for c in children.drain(..) {
+                        if adv.rng.uniform_incl(0, 99) < 45 {
+                            adv.acts += 1;
+                            ctx.trace(EventKind::AdversaryAct {
+                                behavior: "selective_drop",
+                                payload,
+                            });
+                        } else {
+                            kept.push(c);
+                        }
+                    }
+                    children = kept;
+                }
+                ByzantineBehavior::ForgeCapacity | ByzantineBehavior::StaleIncarnation => {}
+            }
+        }
         if ctx.trace_enabled() {
             let split = children.iter().filter(|(_, r)| r.is_some()).count();
             if split > 0 {
@@ -886,6 +1237,7 @@ impl<P: DhtProtocol> DhtActor<P> {
     fn handle_group_publish<D: DhtDriver>(
         &mut self,
         ctx: &mut D,
+        from: ActorId,
         group: u64,
         payload: u64,
         region: Option<Segment>,
@@ -894,12 +1246,28 @@ impl<P: DhtProtocol> DhtActor<P> {
     ) {
         use cam_trace::GroupId;
         if self.seen_payloads.contains_key(&payload) {
+            if region.is_some()
+                && self
+                    .first_sender
+                    .get(&payload)
+                    .is_some_and(|&first| first != from)
+            {
+                self.detections.replay_suspects += 1;
+                ctx.trace(EventKind::AdversaryDetect {
+                    detector: "replay_suspect",
+                    suspect: from.0 as u64,
+                    payload,
+                });
+            }
             ctx.trace(EventKind::DuplicateSuppress {
                 payload,
                 hops,
                 group: Some(GroupId(group)),
             });
             return; // duplicate
+        }
+        if region.is_some() {
+            self.first_sender.insert(payload, from);
         }
         self.seen_payloads.insert(payload, hops);
         self.group_of.insert(payload, group);
@@ -911,6 +1279,18 @@ impl<P: DhtProtocol> DhtActor<P> {
             });
             self.group_received_log.push((group, payload, hops));
             self.delivered_data.insert(payload, data.clone());
+        }
+        // Same region-honesty containment as `handle_multicast`.
+        if let Some(r) = region {
+            if r.from != self.me.id {
+                self.detections.region_violations += 1;
+                ctx.trace(EventKind::AdversaryDetect {
+                    detector: "region_violation",
+                    suspect: from.0 as u64,
+                    payload,
+                });
+                return;
+            }
         }
         let Some(succ) = self.successors.first().copied() else {
             return;
@@ -983,6 +1363,36 @@ impl<P: DhtProtocol> DhtActor<P> {
     }
 
     fn handle_stabilize_timer<D: DhtDriver>(&mut self, ctx: &mut D) {
+        // Age out confirmed-dead verdicts: each round spends one unit of
+        // a verdict's budget, and a verdict that is never re-earned (the
+        // "dead" node was a false positive from probe loss) expires
+        // instead of blacklisting a live node out of the ring forever.
+        self.confirmed_dead.retain(|_, rounds| {
+            *rounds -= 1;
+            *rounds > 0
+        });
+        // Morgue investigations: probes launched last round that are
+        // still unanswered count one strike; enough consecutive strikes
+        // (see `DEAD_VERDICT_STRIKES`) convert the eviction into a
+        // confirmed-dead verdict. A Pong in between closed the case via
+        // `mark_alive`.
+        for id in std::mem::take(&mut self.morgue_awaiting) {
+            if let Some(strikes) = self.morgue.get_mut(&id) {
+                *strikes += 1;
+                if *strikes >= DEAD_VERDICT_STRIKES {
+                    self.morgue.remove(&id);
+                    self.confirmed_dead.insert(id, DEAD_VERDICT_ROUNDS);
+                }
+            }
+        }
+        // Every open case gets one probe per round (BTreeMap order keeps
+        // the probe sequence deterministic).
+        let open: Vec<u64> = self.morgue.keys().copied().collect();
+        for id in open {
+            let req_id = self.fresh_req_id();
+            self.morgue_awaiting.insert(id);
+            self.send_to_member(ctx, Id(id), DhtMsg::Ping { req_id });
+        }
         // Failure detection: the query sent at the previous tick went
         // unanswered — strike; two consecutive strikes declare the
         // successor dead and promote the next one (a single strike may be
@@ -992,6 +1402,7 @@ impl<P: DhtProtocol> DhtActor<P> {
             if self.stabilize_strikes >= 2 && self.successors.len() > 1 {
                 let dead = self.successors.remove(0);
                 self.fingers.retain(|_, m| m.id != dead.id);
+                self.open_investigation(dead.id);
                 ctx.trace(EventKind::NeighborMiss {
                     neighbor: dead.id.value(),
                     strikes: u32::from(self.stabilize_strikes),
@@ -1014,6 +1425,7 @@ impl<P: DhtProtocol> DhtActor<P> {
                 if let Some(next) = replacement {
                     self.successors[0] = next;
                     self.fingers.retain(|_, m| m.id != dead.id);
+                    self.open_investigation(dead.id);
                     ctx.trace(EventKind::NeighborMiss {
                         neighbor: dead.id.value(),
                         strikes: u32::from(self.stabilize_strikes),
@@ -1050,6 +1462,45 @@ impl<P: DhtProtocol> DhtActor<P> {
             self.pending_pred_ping = Some((req_id, pred.id));
             self.send_to_member(ctx, pred.id, DhtMsg::Ping { req_id });
         }
+        // Deep successor-list liveness sweep. The head is vetted by the
+        // stabilize query itself, but deeper entries are only ever
+        // replaced wholesale by adopted lists — a dead deep entry could
+        // survive indefinitely and be re-advertised to peers (exactly
+        // what a stale-incarnation adversary exploits). Probe one
+        // non-head entry per round, round-robin; two consecutive
+        // unanswered probes evict it everywhere and record it as
+        // confirmed dead, which is what lets the stale-claim detector
+        // recognize its re-advertisement.
+        if let Some((_, probed)) = self.pending_succ_ping.take() {
+            if self.successors.iter().skip(1).any(|m| m.id == probed) {
+                let strikes = self.succ_strikes.entry(probed.value()).or_insert(0);
+                *strikes += 1;
+                let strikes = *strikes;
+                if strikes >= 2 {
+                    if let Some(pos) = self.successors.iter().position(|m| m.id == probed) {
+                        if pos > 0 {
+                            self.successors.remove(pos);
+                        }
+                    }
+                    self.fingers.retain(|_, m| m.id != probed);
+                    self.open_investigation(probed);
+                    ctx.trace(EventKind::NeighborMiss {
+                        neighbor: probed.value(),
+                        strikes: u32::from(strikes),
+                    });
+                }
+            } else {
+                self.succ_strikes.remove(&probed.value());
+            }
+        }
+        if self.successors.len() > 1 {
+            let idx = 1 + self.succ_probe_cursor % (self.successors.len() - 1);
+            self.succ_probe_cursor = self.succ_probe_cursor.wrapping_add(1);
+            let target = self.successors[idx];
+            let req_id = self.fresh_req_id();
+            self.pending_succ_ping = Some((req_id, target.id));
+            self.send_to_member(ctx, target.id, DhtMsg::Ping { req_id });
+        }
         ctx.set_timer(self.stabilize_every, TIMER_STABILIZE);
     }
 
@@ -1068,6 +1519,7 @@ impl<P: DhtProtocol> DhtActor<P> {
             if strikes >= 2 {
                 self.fingers.retain(|_, m| m.id != suspect);
                 self.ping_strikes.remove(&suspect.value());
+                self.open_investigation(suspect);
                 ctx.trace(EventKind::NeighborMiss {
                     neighbor: suspect.value(),
                     strikes: u32::from(strikes),
@@ -1143,6 +1595,7 @@ impl<P: DhtProtocol> DhtActor<P> {
                 ..
             } => match self.pending.remove(&req_id) {
                 Some(PendingLookup::FixFinger(target)) if !gave_up => {
+                    let owner = self.vet(ctx, owner);
                     ctx.trace(EventKind::NeighborResolve {
                         target: target.value(),
                         neighbor: owner.id.value(),
@@ -1152,23 +1605,57 @@ impl<P: DhtProtocol> DhtActor<P> {
                 _ => {}
             },
             DhtMsg::StabilizeQuery => {
-                let _ = from;
-                let mut successors = Vec::with_capacity(SUCCESSOR_LIST_LEN);
-                successors.push(self.me);
-                successors.extend(self.successors.iter().copied().take(SUCCESSOR_LIST_LEN - 1));
-                ctx.send(
-                    from,
-                    DhtMsg::StabilizeReply {
-                        predecessor: self.predecessor,
-                        successors,
-                    },
-                );
+                let reply = self.answer_stabilize(ctx);
+                ctx.send(from, reply);
             }
             DhtMsg::StabilizeReply {
                 predecessor,
                 successors,
             } => {
                 self.awaiting_stabilize = false;
+                // Incarnation-regression guard: drop advertised members
+                // this node has itself confirmed dead — adopting them
+                // would resurrect a stale incarnation into the ring. Every
+                // flagged claim re-probes the member: if the local
+                // eviction was wrong (probe losses, or the member crashed
+                // and has since rejoined), its Pong clears the blacklist
+                // and the next advertisement is adopted normally. A node
+                // mid-rejoin swallows pings until its join completes, so
+                // the probe must repeat, not fire once — and if even the
+                // probes keep getting lost, the verdict's round budget
+                // (see `DEAD_VERDICT_ROUNDS`) lapses as a backstop.
+                let mut vetted: Vec<Member> = Vec::with_capacity(successors.len());
+                for m in successors {
+                    if self.confirmed_dead.contains_key(&m.id.value()) {
+                        self.detections.stale_claims += 1;
+                        ctx.trace(EventKind::AdversaryDetect {
+                            detector: "stale_claim",
+                            suspect: m.id.value(),
+                            payload: 0,
+                        });
+                        let req_id = self.fresh_req_id();
+                        self.send_to_member(ctx, m.id, DhtMsg::Ping { req_id });
+                        continue;
+                    }
+                    let m = self.vet(ctx, m);
+                    vetted.push(m);
+                }
+                let successors = vetted;
+                let predecessor = match predecessor {
+                    Some(p) if self.confirmed_dead.contains_key(&p.id.value()) => {
+                        self.detections.stale_claims += 1;
+                        ctx.trace(EventKind::AdversaryDetect {
+                            detector: "stale_claim",
+                            suspect: p.id.value(),
+                            payload: 0,
+                        });
+                        let req_id = self.fresh_req_id();
+                        self.send_to_member(ctx, p.id, DhtMsg::Ping { req_id });
+                        None
+                    }
+                    Some(p) => Some(self.vet(ctx, p)),
+                    None => None,
+                };
                 // Chord stabilize: if succ's predecessor is between me and
                 // succ, adopt it as my successor.
                 if let (Some(p), Some(succ)) = (predecessor, self.successors.first().copied()) {
@@ -1186,10 +1673,14 @@ impl<P: DhtProtocol> DhtActor<P> {
                     }
                 }
                 if let Some(succ) = self.successors.first().copied() {
-                    self.send_to_member(ctx, succ.id, DhtMsg::Notify(self.me));
+                    let me = self.advertised_self(ctx);
+                    self.send_to_member(ctx, succ.id, DhtMsg::Notify(me));
                 }
             }
             DhtMsg::Notify(candidate) => {
+                // The candidate itself sent this — it is provably alive.
+                self.mark_alive(candidate.id);
+                let candidate = self.vet(ctx, candidate);
                 let adopt = match &self.predecessor {
                     None => true,
                     Some(p) => self.space.in_segment(candidate.id, p.id, self.me.id),
@@ -1199,16 +1690,16 @@ impl<P: DhtProtocol> DhtActor<P> {
                 }
             }
             DhtMsg::Ping { req_id } => {
-                ctx.send(
-                    from,
-                    DhtMsg::Pong {
-                        req_id,
-                        member: self.me,
-                    },
-                );
+                let member = self.advertised_self(ctx);
+                ctx.send(from, DhtMsg::Pong { req_id, member });
             }
             DhtMsg::Pong { req_id, member } => {
-                if self.pending_pred_ping.map(|(id, _)| id) == Some(req_id) {
+                // Any Pong proves the member is alive right now.
+                self.mark_alive(member.id);
+                let member = self.vet(ctx, member);
+                if self.pending_succ_ping.map(|(id, _)| id) == Some(req_id) {
+                    self.pending_succ_ping = None;
+                } else if self.pending_pred_ping.map(|(id, _)| id) == Some(req_id) {
                     self.pending_pred_ping = None;
                     self.pred_strikes = 0;
                 } else if let Some((target, probed)) = self.pending_pings.remove(&req_id) {
@@ -1232,7 +1723,7 @@ impl<P: DhtProtocol> DhtActor<P> {
                 region,
                 hops,
                 data,
-            } => self.handle_multicast(ctx, payload, region, hops, data),
+            } => self.handle_multicast(ctx, from, payload, region, hops, data),
             DhtMsg::AntiEntropyDigest { have } => {
                 let their: std::collections::HashSet<u64> = have.iter().copied().collect();
                 // Push what they're missing… (sorted: deterministic order)
@@ -1289,17 +1780,32 @@ impl<P: DhtProtocol> DhtActor<P> {
                     e.insert(hops);
                     self.received_log.push((payload, hops));
                     self.delivered_data.insert(payload, data);
+                    // Tree delivery failed for this payload and epidemic
+                    // repair recovered it — the observable footprint of
+                    // dropped/misrouted forwards upstream. Unattributable
+                    // to a specific peer, hence suspect 0.
+                    self.detections.repair_recoveries += 1;
+                    ctx.trace(EventKind::AdversaryDetect {
+                        detector: "repair_recovery",
+                        suspect: 0,
+                        payload,
+                    });
                 }
             }
             DhtMsg::JoinRequest {
                 joiner,
                 joiner_actor,
             } => {
+                // A rejoining member originated this request moments ago:
+                // clear any confirmed-dead verdict so its fresh
+                // incarnation can be re-adopted.
+                self.mark_alive(joiner.id);
+                let joiner = self.vet(ctx, joiner);
                 // Route a lookup for the joiner's id; when it completes we
                 // cannot intercept here without more state, so answer
                 // directly if we already know: simplest correct behaviour is
                 // to forward the request greedily toward the owner.
-                if let Some(pred) = &self.predecessor {
+                if let Some(pred) = self.predecessor {
                     // `pred.id == joiner.id` is a *rejoin*: a node that
                     // crashed and restarted while we still list it as
                     // predecessor (it keeps answering pings, so failure
@@ -1312,7 +1818,7 @@ impl<P: DhtProtocol> DhtActor<P> {
                         ctx.trace(EventKind::JoinRequest {
                             joiner: joiner.id.value(),
                         });
-                        let mut successors = vec![self.me];
+                        let mut successors = vec![self.advertised_self(ctx)];
                         successors.extend(self.successors.iter().copied());
                         successors.truncate(SUCCESSOR_LIST_LEN);
                         ctx.send(joiner_actor, DhtMsg::JoinAnswer { successors });
@@ -1366,12 +1872,18 @@ impl<P: DhtProtocol> DhtActor<P> {
                     );
                 }
             }
-            DhtMsg::JoinAnswer { mut successors } => {
+            DhtMsg::JoinAnswer { successors } => {
                 // A rejoining node can be offered a list that still
                 // contains its own pre-crash incarnation (its old
                 // successor answers with a list starting at the joiner).
                 // Adopting ourselves as successor would wedge the ring.
-                successors.retain(|m| m.id != self.me.id);
+                let mut successors: Vec<Member> = successors
+                    .into_iter()
+                    .filter(|m| m.id != self.me.id)
+                    .collect();
+                for m in &mut successors {
+                    *m = self.vet(ctx, *m);
+                }
                 if !self.joined && !successors.is_empty() {
                     ctx.trace(EventKind::JoinComplete {
                         joiner: self.me.id.value(),
@@ -1380,7 +1892,8 @@ impl<P: DhtProtocol> DhtActor<P> {
                     self.successors = successors;
                     self.successors.truncate(SUCCESSOR_LIST_LEN);
                     self.joined = true;
-                    self.send_to_member(ctx, head.id, DhtMsg::Notify(self.me));
+                    let me = self.advertised_self(ctx);
+                    self.send_to_member(ctx, head.id, DhtMsg::Notify(me));
                     ctx.set_timer(Duration::from_millis(50), TIMER_STABILIZE);
                     ctx.set_timer(Duration::from_millis(100), TIMER_FIX_FINGERS);
                     ctx.set_timer(Duration::from_millis(150), TIMER_ANTI_ENTROPY);
@@ -1398,7 +1911,7 @@ impl<P: DhtProtocol> DhtActor<P> {
                 region,
                 hops,
                 data,
-            } => self.handle_group_publish(ctx, group, payload, region, hops, data),
+            } => self.handle_group_publish(ctx, from, group, payload, region, hops, data),
         }
     }
 

@@ -26,12 +26,14 @@
 //!   [`dynamic::DhtProtocol`]. This is what backs the churn/resilience
 //!   experiments ("resilient" in the paper's title).
 
+pub mod adversary;
 pub mod dynamic;
 pub mod lookup;
 pub mod peer;
 pub mod stream;
 pub mod tree;
 
+pub use adversary::{AdversaryState, ByzantineBehavior, DetectionCounters};
 pub use lookup::LookupResult;
 pub use peer::{Member, MemberSet, Members};
 pub use stream::{DeliverySink, StreamingTreeStats};

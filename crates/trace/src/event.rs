@@ -154,6 +154,31 @@ pub enum EventKind {
         /// Phase name.
         name: &'static str,
     },
+    /// A Byzantine adversary (attached by the chaos harness) performed
+    /// one of its scripted misbehaviors at this actor.
+    AdversaryAct {
+        /// Stable name of the behavior ("misroute", "selective_drop",
+        /// "forge_capacity", "replay", "stale_incarnation").
+        behavior: &'static str,
+        /// Payload the act concerned; `0` when the act is not
+        /// payload-scoped (e.g. a stale stabilize answer).
+        payload: u64,
+    },
+    /// An honest node's built-in defense flagged suspected misbehavior
+    /// and bumped the matching detection counter.
+    AdversaryDetect {
+        /// Stable name of the detection counter that fired
+        /// ("region_violation", "capacity_forgery", "replay_suspect",
+        /// "stale_claim", "repair_recovery").
+        detector: &'static str,
+        /// The peer the evidence points at: the sender's actor index for
+        /// frame-level detections, a ring identifier for membership-level
+        /// ones (stale claims), `0` when unattributable (repair
+        /// recoveries).
+        suspect: u64,
+        /// Payload involved; `0` when the evidence is not payload-scoped.
+        payload: u64,
+    },
 }
 
 impl EventKind {
@@ -177,6 +202,8 @@ impl EventKind {
             EventKind::OracleViolation { .. } => "oracle_violation",
             EventKind::PhaseBegin { .. } => "phase_begin",
             EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::AdversaryAct { .. } => "adversary_act",
+            EventKind::AdversaryDetect { .. } => "adversary_detect",
         }
     }
 }
@@ -232,6 +259,15 @@ mod tests {
             EventKind::OracleViolation { oracle: "x" },
             EventKind::PhaseBegin { name: "x" },
             EventKind::PhaseEnd { name: "x" },
+            EventKind::AdversaryAct {
+                behavior: "x",
+                payload: 0,
+            },
+            EventKind::AdversaryDetect {
+                detector: "x",
+                suspect: 0,
+                payload: 0,
+            },
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len(), "duplicate event name");

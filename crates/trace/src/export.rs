@@ -113,6 +113,19 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::OracleViolation { oracle } => {
             let _ = write!(out, ",\"oracle\":\"{oracle}\"");
         }
+        EventKind::AdversaryAct { behavior, payload } => {
+            let _ = write!(out, ",\"behavior\":\"{behavior}\",\"payload\":{payload}");
+        }
+        EventKind::AdversaryDetect {
+            detector,
+            suspect,
+            payload,
+        } => {
+            let _ = write!(
+                out,
+                ",\"detector\":\"{detector}\",\"suspect\":{suspect},\"payload\":{payload}"
+            );
+        }
         EventKind::Crash
         | EventKind::Leave
         | EventKind::Restart
